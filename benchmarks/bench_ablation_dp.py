@@ -1,0 +1,83 @@
+"""Ablations on the DP planner: item pruning and knapsack backend.
+
+DESIGN.md commits to two engineering choices the paper does not have to
+make (its C++ can brute-force the exact sweep): (1) pruning
+value-negligible probe-ladder items at large budgets, (2) a
+numpy-vectorized knapsack DP.  These benches quantify both: pruning
+must not change the achieved improvement beyond float noise while
+cutting planning time; the numpy backend must beat the pure-Python
+reference.
+"""
+
+import pytest
+
+from repro.bench import Table, time_call
+from repro.bench import workloads
+from repro.cleaning.dp import DPCleaner
+from repro.cleaning.improvement import expected_improvement
+
+
+@pytest.fixture(scope="module")
+def problem(scale):
+    k = min(15, scale.k_max)
+    budget = min(1_000, scale.budget_max)
+    return workloads.synthetic_cleaning_problem(scale.clean_m, k, budget)
+
+
+def test_pruning_preserves_improvement(benchmark, scale, problem, results_dir):
+    exact = DPCleaner()
+    pruned = DPCleaner(prune_tolerance=1e-14)
+    exact_plan = exact.plan(problem)
+    pruned_plan = benchmark.pedantic(
+        pruned.plan, args=(problem,), rounds=scale.repeats, iterations=1
+    )
+    exact_value = expected_improvement(problem, exact_plan)
+    pruned_value = expected_improvement(problem, pruned_plan)
+    assert pruned_value == pytest.approx(exact_value, rel=1e-9)
+
+    table = Table(
+        experiment="ablation_dp_pruning",
+        title=f"DP item pruning at C={problem.budget}",
+        columns=["variant", "time_ms", "improvement"],
+    )
+    table.add_row(
+        "exact",
+        time_call(lambda: exact.plan(problem), repeats=scale.repeats),
+        exact_value,
+    )
+    table.add_row(
+        "pruned(1e-14)",
+        time_call(lambda: pruned.plan(problem), repeats=scale.repeats),
+        pruned_value,
+    )
+    table.save(results_dir)
+    print()
+    print(table.format())
+
+
+def test_numpy_backend_beats_python(benchmark, scale, problem, results_dir):
+    numpy_planner = DPCleaner(use_numpy=True)
+    python_planner = DPCleaner(use_numpy=False)
+    numpy_plan = benchmark.pedantic(
+        numpy_planner.plan, args=(problem,), rounds=scale.repeats, iterations=1
+    )
+    python_plan = python_planner.plan(problem)
+    assert expected_improvement(problem, numpy_plan) == pytest.approx(
+        expected_improvement(problem, python_plan), abs=1e-9
+    )
+
+    numpy_ms = time_call(lambda: numpy_planner.plan(problem), repeats=scale.repeats)
+    python_ms = time_call(
+        lambda: python_planner.plan(problem), repeats=1
+    )
+    table = Table(
+        experiment="ablation_knapsack_backend",
+        title=f"knapsack backend at C={problem.budget}",
+        columns=["backend", "time_ms"],
+    )
+    table.add_row("numpy", numpy_ms)
+    table.add_row("pure-python", python_ms)
+    table.save(results_dir)
+    print()
+    print(table.format())
+    assert numpy_ms < python_ms

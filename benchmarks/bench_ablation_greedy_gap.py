@@ -1,0 +1,47 @@
+"""Ablation: how close is Greedy to the DP optimum, really?
+
+The paper asserts Greedy is "close to optimal" by visual overlap in
+Figure 6(a).  This bench puts numbers on it: the relative gap
+``(DP - Greedy) / DP`` across budgets, which the knapsack boundary-item
+argument predicts to be tiny (one geometric-tail item at most).
+"""
+
+import pytest
+
+from repro.bench import Table
+from repro.bench import workloads
+from repro.bench.figures import _budgets
+from repro.cleaning.dp import DPCleaner
+from repro.cleaning.greedy import GreedyCleaner
+from repro.cleaning.improvement import expected_improvement
+
+
+def test_greedy_gap_across_budgets(benchmark, scale, results_dir):
+    k = min(15, scale.k_max)
+    table = Table(
+        experiment="ablation_greedy_gap",
+        title=f"Greedy's optimality gap vs budget (m={scale.clean_m}, k={k})",
+        columns=["C", "DP", "Greedy", "relative_gap"],
+        notes="gap = (DP - Greedy) / DP; paper claims visual overlap",
+    )
+
+    def run():
+        table.rows.clear()
+        for budget in _budgets(scale):
+            if budget > 10_000:
+                continue  # exact DP only (no pruning) for a fair gap
+            problem = workloads.synthetic_cleaning_problem(scale.clean_m, k, budget)
+            dp_value = expected_improvement(problem, DPCleaner().plan(problem))
+            greedy_value = expected_improvement(
+                problem, GreedyCleaner().plan(problem)
+            )
+            gap = 0.0 if dp_value == 0.0 else (dp_value - greedy_value) / dp_value
+            table.add_row(budget, dp_value, greedy_value, gap)
+        return table
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    table.save(results_dir)
+    print()
+    print(table.format())
+    for gap in table.column("relative_gap"):
+        assert gap < 0.01, "greedy must stay within 1% of optimal"

@@ -1,0 +1,29 @@
+"""Figure 4(a): quality score vs k on the synthetic database.
+
+Paper shape: the quality score decreases (more pw-results, more
+ambiguity) as k grows.
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench import workloads
+from repro.bench.figures import fig4a
+from repro.core.tp import compute_quality_tp
+
+
+def test_fig4a_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig4a, scale, results_dir)
+    scores = table.column("S")
+    assert all(a > b for a, b in zip(scores, scores[1:])), (
+        "quality must fall monotonically with k"
+    )
+
+
+@pytest.mark.parametrize("k", [1, 15, 30])
+def test_tp_quality_at_k(benchmark, scale, k):
+    ranked = workloads.synthetic_ranked(scale.clean_m)
+    result = benchmark.pedantic(
+        compute_quality_tp, args=(ranked, k), rounds=scale.repeats, iterations=1
+    )
+    assert result.quality <= 0.0

@@ -1,0 +1,29 @@
+"""Figure 4(b): quality vs uncertainty pdf (G10..G100, uniform).
+
+Paper shape: a tighter Gaussian concentrates each x-tuple's mass on few
+alternatives, so the top-k answer is less ambiguous:
+G10 > G30 > G50 > G100 > uniform.
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench import workloads
+from repro.bench.figures import fig4b
+from repro.core.tp import compute_quality_tp
+
+
+def test_fig4b_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig4b, scale, results_dir)
+    scores = dict(zip(table.column("pdf"), table.column("S")))
+    assert scores["G10"] > scores["G30"] >= scores["G50"] >= scores["G100"]
+    assert scores["G100"] >= scores["Uniform"]
+
+
+@pytest.mark.parametrize("sigma", [10.0, 100.0])
+def test_tp_quality_per_sigma(benchmark, scale, sigma):
+    ranked = workloads.synthetic_ranked(scale.clean_m, sigma)
+    k = min(15, scale.k_max)
+    benchmark.pedantic(
+        compute_quality_tp, args=(ranked, k), rounds=scale.repeats, iterations=1
+    )

@@ -1,0 +1,41 @@
+"""Figure 4(c): quality vs k on MOV.
+
+Paper shape: quality falls with k, but MOV (about 2 alternatives per
+x-tuple) stays well above the synthetic database (10 per x-tuple) at
+equal x-tuple counts.
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench import workloads
+from repro.bench.figures import fig4a, fig4c
+from repro.core.tp import compute_quality_tp
+
+
+def test_fig4c_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig4c, scale, results_dir)
+    scores = table.column("S")
+    assert all(a > b for a, b in zip(scores, scores[1:]))
+
+
+def test_mov_quality_above_synthetic(benchmark, scale):
+    k = min(15, scale.k_max)
+    mov = benchmark.pedantic(
+        compute_quality_tp,
+        args=(workloads.mov_ranked(scale.mov_m), k),
+        rounds=scale.repeats,
+        iterations=1,
+    ).quality
+    synthetic = compute_quality_tp(
+        workloads.synthetic_ranked(scale.clean_m), k
+    ).quality
+    assert mov > synthetic
+
+
+@pytest.mark.parametrize("k", [1, 15, 30])
+def test_tp_quality_mov_at_k(benchmark, scale, k):
+    ranked = workloads.mov_ranked(scale.mov_m)
+    benchmark.pedantic(
+        compute_quality_tp, args=(ranked, k), rounds=scale.repeats, iterations=1
+    )

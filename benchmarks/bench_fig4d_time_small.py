@@ -1,0 +1,53 @@
+"""Figure 4(d): quality time vs database size at k=5, PW vs PWR vs TP.
+
+Paper shape: PW is exponential in the number of x-tuples (the authors
+report 36.2 minutes at a mere 10 x-tuples) and falls off the chart
+almost immediately; PWR is polynomial but grows with the pw-result
+count; TP stays flat.
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench import workloads
+from repro.bench.figures import fig4d
+from repro.core.pw import compute_quality_pw
+from repro.core.pwr import compute_quality_pwr
+from repro.core.tp import compute_quality_tp
+
+
+def test_fig4d_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig4d, scale, results_dir)
+    rows = {r[0]: r for r in table.rows}
+    smallest = min(rows)
+    _, pw_ms, pwr_ms, tp_ms = rows[smallest]
+    # At the smallest size all three run; the ordering must hold.
+    assert pw_ms is not None and pwr_ms is not None
+    assert pw_ms > tp_ms
+    # PW must blow up relative to TP even at toy sizes.
+    largest_pw = max(size for size, row in rows.items() if row[1] is not None)
+    assert rows[largest_pw][1] > 10 * rows[largest_pw][3]
+
+
+@pytest.mark.parametrize("tuples", [20, 40])
+def test_pw_small(benchmark, scale, tuples):
+    ranked = workloads.synthetic_ranked(tuples // 10)
+    benchmark.pedantic(
+        compute_quality_pw, args=(ranked, 5), rounds=scale.repeats, iterations=1
+    )
+
+
+@pytest.mark.parametrize("tuples", [20, 100])
+def test_pwr_small(benchmark, scale, tuples):
+    ranked = workloads.synthetic_ranked(tuples // 10)
+    benchmark.pedantic(
+        compute_quality_pwr, args=(ranked, 5), rounds=scale.repeats, iterations=1
+    )
+
+
+@pytest.mark.parametrize("tuples", [20, 100, 1000])
+def test_tp_small(benchmark, scale, tuples):
+    ranked = workloads.synthetic_ranked(tuples // 10)
+    benchmark.pedantic(
+        compute_quality_tp, args=(ranked, 5), rounds=scale.repeats, iterations=1
+    )

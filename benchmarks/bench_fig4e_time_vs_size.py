@@ -1,0 +1,32 @@
+"""Figure 4(e): quality time vs database size at k=15, PWR vs TP.
+
+Paper shape: at k=15 the pw-result count explodes with size, so PWR
+"cannot return the quality score in a reasonable time" (here: exceeds
+the result cap and is reported as '-'), while TP stays near-linear.
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench import workloads
+from repro.bench.figures import fig4e
+from repro.core.tp import compute_quality_tp
+
+
+def test_fig4e_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig4e, scale, results_dir)
+    tp_times = table.column("TP_ms")
+    assert all(t is not None for t in tp_times)
+    # PWR must have failed (capped) at the largest size while TP ran.
+    assert table.rows[-1][1] is None or table.rows[-1][1] > table.rows[-1][2]
+
+
+@pytest.mark.parametrize("tuples", [1_000, 10_000])
+def test_tp_at_size(benchmark, scale, tuples):
+    if tuples > scale.synth_m * 10:
+        pytest.skip("beyond current scale")
+    ranked = workloads.synthetic_ranked(tuples // 10)
+    k = min(15, scale.k_max)
+    benchmark.pedantic(
+        compute_quality_tp, args=(ranked, k), rounds=scale.repeats, iterations=1
+    )

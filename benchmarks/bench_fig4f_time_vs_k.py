@@ -1,0 +1,46 @@
+"""Figure 4(f): quality time vs k, PWR vs TP.
+
+Paper shape: PWR's cost is exponential in k (the pw-result count is
+bounded by n^k) while TP is O(kn); their curves cross almost
+immediately and PWR drops out (capped, '-') for moderate k.
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench import workloads
+from repro.bench.figures import fig4f
+from repro.core.pwr import ResultLimitExceeded, compute_quality_pwr
+from repro.core.tp import compute_quality_tp
+
+
+def test_fig4f_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig4f, scale, results_dir)
+    # TP present everywhere; PWR capped at the largest k.
+    assert all(t is not None for t in table.column("TP_ms"))
+    assert table.rows[-1][1] is None
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_pwr_at_small_k(benchmark, scale, k):
+    ranked = workloads.synthetic_ranked(scale.synth_m)
+    try:
+        benchmark.pedantic(
+            compute_quality_pwr,
+            args=(ranked, k),
+            kwargs={"max_results": scale.pwr_max_results},
+            rounds=scale.repeats,
+            iterations=1,
+        )
+    except ResultLimitExceeded:
+        pytest.skip("pw-result count exceeds cap at this scale")
+
+
+@pytest.mark.parametrize("k", [1, 10, 100])
+def test_tp_at_k(benchmark, scale, k):
+    if k > scale.k_max:
+        pytest.skip("beyond current scale")
+    ranked = workloads.synthetic_ranked(scale.synth_m)
+    benchmark.pedantic(
+        compute_quality_tp, args=(ranked, k), rounds=scale.repeats, iterations=1
+    )

@@ -1,0 +1,33 @@
+"""Figure 5(a): query+quality time, sharing vs non-sharing.
+
+Paper shape: computing the quality from the query's own PSR pass
+(Section IV-C) cuts the combined time substantially -- to about 52% of
+the back-to-back pipeline at k=100 (the non-sharing pipeline runs PSR
+twice, and PSR dominates).
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench import workloads
+from repro.bench.figures import fig5a
+from repro.queries.engine import evaluate, evaluate_without_sharing
+
+
+def test_fig5a_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig5a, scale, results_dir)
+    fractions = table.column("sharing_fraction")
+    # Sharing must never be slower, and at the largest k it must save
+    # a substantial fraction (paper: ~48%; we require >= 25%).
+    assert all(f < 1.05 for f in fractions)
+    assert fractions[-1] < 0.75
+
+
+@pytest.mark.parametrize("k", [15, 100])
+@pytest.mark.parametrize("mode", ["sharing", "non_sharing"])
+def test_pipeline(benchmark, scale, k, mode):
+    if k > scale.k_max:
+        pytest.skip("beyond current scale")
+    ranked = workloads.synthetic_ranked(scale.synth_m)
+    fn = evaluate if mode == "sharing" else evaluate_without_sharing
+    benchmark.pedantic(fn, args=(ranked, k), rounds=scale.repeats, iterations=1)

@@ -1,0 +1,38 @@
+"""Figure 5(b): PT-k evaluation time vs the extra quality time (sharing).
+
+Paper shape: with sharing, the quality step only adds the weight
+computation and the weighted sum on top of the query's PSR pass; its
+share of the total falls from 33.3% at k=15 to 6.3% at k=100 (PSR's
+cost grows with k, the quality extra barely does).
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench import workloads
+from repro.bench.figures import fig5b
+from repro.core.tp import compute_quality_tp
+from repro.queries.psr import compute_rank_probabilities
+
+
+def test_fig5b_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig5b, scale, results_dir)
+    shares = table.column("quality_share")
+    # The quality share of the total must shrink as k grows.
+    assert shares[-1] < shares[0]
+    assert shares[-1] < 0.5
+
+
+@pytest.mark.parametrize("k", [15, 100])
+def test_quality_extra_with_sharing(benchmark, scale, k):
+    if k > scale.k_max:
+        pytest.skip("beyond current scale")
+    ranked = workloads.synthetic_ranked(scale.synth_m)
+    rank_probs = compute_rank_probabilities(ranked, k)
+    benchmark.pedantic(
+        compute_quality_tp,
+        args=(ranked, k),
+        kwargs={"rank_probabilities": rank_probs},
+        rounds=max(scale.repeats, 3),
+        iterations=1,
+    )

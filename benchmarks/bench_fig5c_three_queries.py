@@ -1,0 +1,42 @@
+"""Figure 5(c): evaluation time of U-kRanks / Global-topk / PT-k vs the
+extra quality time.
+
+Paper shape: the three semantics cost about the same (the PSR pass
+dominates all of them), so the quality overhead is a small slice of any
+query's total evaluation time.
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench import workloads
+from repro.bench.figures import fig5c
+from repro.queries import global_topk, ptk, ukranks
+from repro.queries.psr import compute_rank_probabilities
+
+
+def test_fig5c_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig5c, scale, results_dir)
+    for row in table.rows:
+        _, uk, gt, pt, quality_extra = row
+        slowest_query = max(uk, gt, pt)
+        assert quality_extra < slowest_query
+
+
+QUERY_FNS = {
+    "ukranks": ukranks.answer_from_rank_probabilities,
+    "global_topk": global_topk.answer_from_rank_probabilities,
+    "ptk": lambda rp: ptk.answer_from_rank_probabilities(rp, 0.1),
+}
+
+
+@pytest.mark.parametrize("semantics", sorted(QUERY_FNS))
+def test_query_semantics_time(benchmark, scale, semantics):
+    ranked = workloads.synthetic_ranked(scale.synth_m)
+    k = min(50, scale.k_max)
+
+    def run():
+        rank_probs = compute_rank_probabilities(ranked, k)
+        return QUERY_FNS[semantics](rank_probs)
+
+    benchmark.pedantic(run, rounds=scale.repeats, iterations=1)

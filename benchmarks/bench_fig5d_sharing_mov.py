@@ -1,0 +1,46 @@
+"""Figure 5(d): PT-k vs quality time under sharing, on MOV.
+
+Paper shape: same split as Figure 5(b) but faster in absolute terms --
+MOV has far fewer tuples with nonzero top-k probability (75 vs 579 at
+k=15 in the paper), so both the query and the quality step shrink.
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench import workloads
+from repro.bench.figures import fig5d
+from repro.queries.engine import evaluate
+
+
+def test_fig5d_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig5d, scale, results_dir)
+    shares = table.column("quality_share")
+    assert shares[-1] < 0.5
+
+
+def test_mov_nonzero_set_smaller_than_synthetic(benchmark, scale):
+    k = min(15, scale.k_max)
+    report = benchmark.pedantic(
+        evaluate,
+        args=(workloads.mov_ranked(scale.mov_m), k),
+        rounds=scale.repeats,
+        iterations=1,
+    )
+    mov_nonzero = sum(
+        1 for _ in report.rank_probabilities.nonzero_tuples()
+    )
+    synthetic = evaluate(workloads.synthetic_ranked(scale.clean_m), k)
+    synthetic_nonzero = sum(
+        1 for _ in synthetic.rank_probabilities.nonzero_tuples()
+    )
+    # Paper: 75 vs 579 at k=15 -- MOV's candidate set is much smaller.
+    assert mov_nonzero < synthetic_nonzero
+
+
+@pytest.mark.parametrize("k", [15, 100])
+def test_evaluate_mov(benchmark, scale, k):
+    if k > scale.k_max:
+        pytest.skip("beyond current scale")
+    ranked = workloads.mov_ranked(scale.mov_m)
+    benchmark.pedantic(evaluate, args=(ranked, k), rounds=scale.repeats, iterations=1)

@@ -1,0 +1,39 @@
+"""Figure 6(a): expected quality improvement vs budget (synthetic).
+
+Paper shape: DP (optimal) on top, Greedy indistinguishably close,
+RandP above RandU, and every curve climbs toward |S| as the budget
+grows (with enough probes everything can be cleaned).
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench import workloads
+from repro.bench.figures import fig6a
+from repro.cleaning.dp import DPCleaner
+from repro.cleaning.greedy import GreedyCleaner
+
+
+def test_fig6a_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig6a, scale, results_dir)
+    for _, dp, greedy, randp, randu in table.rows:
+        assert dp >= greedy - 1e-9
+        assert greedy >= randp - 1e-9
+    # Improvement grows with budget for the optimal planner.
+    dp_curve = table.column("DP")
+    assert all(a <= b + 1e-9 for a, b in zip(dp_curve, dp_curve[1:]))
+
+
+@pytest.mark.parametrize("budget", [100, 1_000])
+@pytest.mark.parametrize(
+    "planner", [DPCleaner(), GreedyCleaner()], ids=["DP", "Greedy"]
+)
+def test_planner_at_budget(benchmark, scale, budget, planner):
+    if budget > scale.budget_max:
+        pytest.skip("beyond current scale")
+    k = min(15, scale.k_max)
+    problem = workloads.synthetic_cleaning_problem(scale.clean_m, k, budget)
+    plan = benchmark.pedantic(
+        planner.plan, args=(problem,), rounds=scale.repeats, iterations=1
+    )
+    assert plan.is_feasible(problem)

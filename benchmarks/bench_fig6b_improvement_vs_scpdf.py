@@ -1,0 +1,43 @@
+"""Figure 6(b): improvement vs sc-pdf shape.
+
+Paper shape: DP and Greedy exploit the sc-probabilities when planning,
+so a wider sc-pdf (more x-tuples with high success probability to pick
+from) raises their improvement; the random planners ignore
+sc-probabilities, and since all tested pdfs share mean 0.5 their
+improvement barely moves.
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench import workloads
+from repro.bench.figures import fig6b
+from repro.cleaning.greedy import GreedyCleaner
+
+
+def test_fig6b_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig6b, scale, results_dir)
+    rows = {row[0]: row for row in table.rows}
+    # The paper's robust contrast: the uniform sc-pdf (largest
+    # dispersion) maximizes the informed planners' improvement.  The
+    # fine ordering among the three normals is a single-draw effect
+    # (the paper plots one realization as well), so it is not asserted.
+    assert rows["uniform"][1] >= max(r[1] for r in table.rows) - 1e-9  # DP
+    assert rows["uniform"][2] >= max(r[2] for r in table.rows) - 1e-9  # Greedy
+    # Informed planners dominate the randoms under every sc-pdf.
+    for _, dp, greedy, randp, randu in table.rows:
+        assert dp >= greedy - 1e-9
+        assert greedy >= randp - 1e-9
+        assert greedy >= randu - 1e-9
+
+
+@pytest.mark.parametrize("sigma", [0.13, 0.3])
+def test_greedy_under_normal_scpdf(benchmark, scale, sigma):
+    k = min(15, scale.k_max)
+    budget = min(100, scale.budget_max)
+    problem = workloads.synthetic_cleaning_problem(
+        scale.clean_m, k, budget, sc_distribution="normal", sc_sigma=sigma
+    )
+    benchmark.pedantic(
+        GreedyCleaner().plan, args=(problem,), rounds=scale.repeats, iterations=1
+    )

@@ -1,0 +1,36 @@
+"""Figure 6(c): improvement vs average sc-probability (uniform [x, 1]).
+
+Paper shape: raising the average success probability helps every
+planner -- each probe is more likely to land, so the same budget buys
+more expected improvement.
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench import workloads
+from repro.bench.figures import fig6c
+from repro.cleaning.dp import DPCleaner
+
+
+def test_fig6c_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig6c, scale, results_dir)
+    for column in ("DP", "Greedy", "RandP", "RandU"):
+        curve = table.column(column)
+        # Allow tiny local noise for the random planners, but the
+        # overall trend must be increasing.
+        assert curve[-1] > curve[0]
+    dp_curve = table.column("DP")
+    assert all(a <= b + 1e-9 for a, b in zip(dp_curve, dp_curve[1:]))
+
+
+@pytest.mark.parametrize("low", [0.0, 0.8])
+def test_dp_at_avg_sc(benchmark, scale, low):
+    k = min(15, scale.k_max)
+    budget = min(100, scale.budget_max)
+    problem = workloads.synthetic_cleaning_problem(
+        scale.clean_m, k, budget, sc_distribution="uniform", sc_low=low, sc_high=1.0
+    )
+    benchmark.pedantic(
+        DPCleaner().plan, args=(problem,), rounds=scale.repeats, iterations=1
+    )

@@ -1,0 +1,34 @@
+"""Figure 6(d): planning time vs budget.
+
+Paper shape: DP's knapsack grows with C (the paper reports minutes at
+C = 1e5 in C++); Greedy is orders of magnitude cheaper; RandP pays a
+small weighting overhead over RandU.
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench import workloads
+from repro.bench.figures import fig6d
+from repro.cleaning.random_cleaners import RandPCleaner, RandUCleaner
+
+
+def test_fig6d_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig6d, scale, results_dir)
+    for _, dp_ms, greedy_ms, randp_ms, randu_ms in table.rows:
+        assert dp_ms > greedy_ms
+    # DP cost must grow with the budget.
+    dp_curve = table.column("DP_ms")
+    assert dp_curve[-1] > dp_curve[0]
+
+
+@pytest.mark.parametrize(
+    "planner", [RandPCleaner(), RandUCleaner()], ids=["RandP", "RandU"]
+)
+def test_random_planner_time(benchmark, scale, planner):
+    k = min(15, scale.k_max)
+    budget = min(1_000, scale.budget_max)
+    problem = workloads.synthetic_cleaning_problem(scale.clean_m, k, budget)
+    benchmark.pedantic(
+        planner.plan, args=(problem,), rounds=max(scale.repeats, 3), iterations=1
+    )

@@ -1,0 +1,38 @@
+"""Figure 6(e): planning time vs k.
+
+Paper shape: k only enters the planners through the candidate set size
+|Z| (more tuples have nonzero top-k probability at larger k), so DP and
+Greedy grow mildly with k while the random planners stay flat.
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench import workloads
+from repro.bench.figures import fig6e
+from repro.cleaning.dp import DPCleaner
+from repro.cleaning.greedy import GreedyCleaner
+
+
+def test_fig6e_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig6e, scale, results_dir)
+    # |Z| grows with k (the paper: 79 at k=15 -> 98 at k=30).
+    candidates = table.column("num_candidates")
+    assert candidates[-1] >= candidates[0]
+    for row in table.rows:
+        _, _, dp_ms, greedy_ms, randp_ms, randu_ms = row
+        assert dp_ms >= greedy_ms
+
+
+@pytest.mark.parametrize("k", [5, 30])
+@pytest.mark.parametrize(
+    "planner", [DPCleaner(), GreedyCleaner()], ids=["DP", "Greedy"]
+)
+def test_planner_at_k(benchmark, scale, k, planner):
+    if k > scale.k_max:
+        pytest.skip("beyond current scale")
+    budget = min(100, scale.budget_max)
+    problem = workloads.synthetic_cleaning_problem(scale.clean_m, k, budget)
+    benchmark.pedantic(
+        planner.plan, args=(problem,), rounds=scale.repeats, iterations=1
+    )

@@ -1,0 +1,33 @@
+"""Figure 6(f): improvement vs budget on MOV.
+
+Paper shape: identical ordering to the synthetic data (DP >= Greedy >>
+RandP >= RandU) with smaller absolute improvements -- MOV's quality is
+higher to start with, so there is less ambiguity to remove.
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench import workloads
+from repro.bench.figures import fig6f
+from repro.cleaning.greedy import GreedyCleaner
+
+
+def test_fig6f_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig6f, scale, results_dir)
+    for _, dp, greedy, randp, randu in table.rows:
+        assert dp >= greedy - 1e-9
+        assert greedy >= randu - 1e-9
+    dp_curve = table.column("DP")
+    assert all(a <= b + 1e-9 for a, b in zip(dp_curve, dp_curve[1:]))
+
+
+@pytest.mark.parametrize("budget", [100, 1_000])
+def test_greedy_on_mov(benchmark, scale, budget):
+    if budget > scale.budget_max:
+        pytest.skip("beyond current scale")
+    k = min(15, scale.k_max)
+    problem = workloads.mov_cleaning_problem(scale.mov_m, k, budget)
+    benchmark.pedantic(
+        GreedyCleaner().plan, args=(problem,), rounds=scale.repeats, iterations=1
+    )

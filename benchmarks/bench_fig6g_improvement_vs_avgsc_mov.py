@@ -1,0 +1,32 @@
+"""Figure 6(g): improvement vs average sc-probability on MOV.
+
+Paper shape: as on the synthetic data, every planner's improvement
+rises with the average success probability.
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench import workloads
+from repro.bench.figures import fig6g
+from repro.cleaning.dp import DPCleaner
+
+
+def test_fig6g_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig6g, scale, results_dir)
+    for column in ("DP", "Greedy"):
+        curve = table.column(column)
+        assert all(a <= b + 1e-9 for a, b in zip(curve, curve[1:]))
+    assert table.column("RandU")[-1] > table.column("RandU")[0]
+
+
+@pytest.mark.parametrize("low", [0.0, 0.8])
+def test_dp_on_mov_at_avg_sc(benchmark, scale, low):
+    k = min(15, scale.k_max)
+    budget = min(100, scale.budget_max)
+    problem = workloads.mov_cleaning_problem(
+        scale.mov_m, k, budget, sc_distribution="uniform", sc_low=low, sc_high=1.0
+    )
+    benchmark.pedantic(
+        DPCleaner().plan, args=(problem,), rounds=scale.repeats, iterations=1
+    )

@@ -1,0 +1,37 @@
+"""Tables I-II / Figures 2-3: the paper's worked example.
+
+Regenerates the pw-result distributions of udb1 and udb2 and asserts
+the paper's exact numbers (seven results at quality -2.55; four at
+-1.85), while timing all three quality algorithms on the toy input.
+"""
+
+import pytest
+
+from conftest import run_figure
+from repro.bench.figures import fig2_fig3
+from repro.core.quality import compute_quality_detailed
+from repro.datasets.paper import udb1, udb2
+
+
+def test_fig2_3_series(benchmark, scale, results_dir):
+    table = run_figure(benchmark, fig2_fig3, scale, results_dir)
+    udb1_rows = [r for r in table.rows if r[0] == "udb1"]
+    udb2_rows = [r for r in table.rows if r[0] == "udb2"]
+    assert len(udb1_rows) == 7
+    assert len(udb2_rows) == 4
+    assert udb1_rows[0][3] == pytest.approx(-2.55, abs=0.005)
+    assert udb2_rows[0][3] == pytest.approx(-1.85, abs=0.005)
+
+
+@pytest.mark.parametrize("method", ["pw", "pwr", "tp"])
+@pytest.mark.parametrize("factory", [udb1, udb2], ids=["udb1", "udb2"])
+def test_quality_method_on_toy(benchmark, scale, method, factory):
+    ranked = factory().ranked()
+    result = benchmark.pedantic(
+        compute_quality_detailed,
+        args=(ranked, 2),
+        kwargs={"method": method},
+        rounds=max(scale.repeats, 3),
+        iterations=1,
+    )
+    assert result.quality < 0.0

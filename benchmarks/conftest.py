@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each figure's series
+table is written to ``benchmarks/results/<experiment>.txt``; the
+pytest-benchmark summary reports the per-point timings.  Workload scale
+is selected with ``REPRO_BENCH_SCALE=quick|default|full`` (see
+``repro.bench.harness``).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    directory = Path(__file__).parent / "results"
+    directory.mkdir(exist_ok=True)
+    return directory
+
+
+def run_figure(benchmark, figure_fn, scale, results_dir):
+    """Generate one figure's table exactly once, timed, and save it."""
+    table = benchmark.pedantic(figure_fn, args=(scale,), rounds=1, iterations=1)
+    table.save(results_dir)
+    print()
+    print(table.format())
+    return table

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Adaptive cleaning: re-investing budget that early successes free up.
+
+The paper plans the whole probe schedule before the first probe runs
+and explicitly leaves "how to use the rest of the resources" to future
+work (Section V-A).  This example runs that future work -- the
+library's adaptive loop (plan, execute, observe, re-plan) -- head to
+head against one-shot planning over many simulated campaigns, and
+reports the realized (not just expected) quality improvements.
+
+Run:  python examples/adaptive_cleaning.py
+"""
+
+import random
+import statistics
+
+from repro import (
+    GreedyCleaner,
+    build_cleaning_problem,
+    clean_adaptively,
+    evaluate,
+    execute_plan,
+)
+from repro.core.tp import compute_quality_tp
+from repro.datasets.synthetic import (
+    generate_costs,
+    generate_sc_probabilities,
+    generate_synthetic,
+)
+
+NUM_SENSORS = 400
+K = 10
+BUDGET = 60
+TRIALS = 200
+
+
+def main() -> None:
+    db = generate_synthetic(num_xtuples=NUM_SENSORS, seed=21)
+    report = evaluate(db, k=K)
+    costs = generate_costs(db, seed=22)
+    sc = generate_sc_probabilities(db, low=0.2, high=0.9, seed=23)
+    problem = build_cleaning_problem(report.quality, costs, sc, BUDGET)
+    planner = GreedyCleaner()
+    print(f"{NUM_SENSORS} sensors, top-{K}, budget {BUDGET}")
+    print(f"quality before cleaning: {report.quality_score:.3f}")
+
+    rng = random.Random(24)
+    oneshot_gains = []
+    adaptive_gains = []
+    adaptive_rounds = []
+    for _ in range(TRIALS):
+        outcome = execute_plan(db, problem, planner.plan(problem), rng=rng)
+        after = compute_quality_tp(outcome.cleaned_db.ranked(), K).quality
+        oneshot_gains.append(after - report.quality_score)
+
+        result = clean_adaptively(db, problem, planner, rng=rng)
+        adaptive_gains.append(result.realized_improvement)
+        adaptive_rounds.append(len(result.rounds))
+
+    def summarize(label, gains):
+        mean = statistics.fmean(gains)
+        stderr = statistics.stdev(gains) / len(gains) ** 0.5
+        print(f"{label:>10}: mean realized improvement "
+              f"{mean:.3f} +/- {1.96 * stderr:.3f} (95% CI)")
+        return mean
+
+    print(f"\n{TRIALS} simulated campaigns:")
+    oneshot = summarize("one-shot", oneshot_gains)
+    adaptive = summarize("adaptive", adaptive_gains)
+    print(f"\nadaptive used {statistics.fmean(adaptive_rounds):.1f} "
+          f"plan/execute rounds on average")
+    if adaptive > oneshot:
+        print(f"adaptive recovered {adaptive - oneshot:.3f} extra bits of "
+              f"quality by re-investing saved probes")
+    else:
+        print("one-shot matched adaptive on this workload "
+              "(few early successes to exploit)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""repro: reproduction of "Cleaning Uncertain Data for Top-k Queries"
+(Mo, Cheng, Li, Cheung, Yang -- ICDE 2013).
+
+The library has four layers:
+
+* :mod:`repro.db` -- the x-tuple probabilistic database model, ranking,
+  possible-world semantics, serialization;
+* :mod:`repro.queries` -- probabilistic top-k semantics (U-kRanks,
+  PT-k, Global-topk, plus U-Topk) on top of the PSR rank-probability
+  dynamic program, with one-pass shared evaluation;
+* :mod:`repro.core` -- PWS-quality computation: the naive PW baseline,
+  the pw-result-enumerating PWR (Algorithm 1), the O(kn) TP algorithm
+  (Theorem 1), and a Monte-Carlo estimator;
+* :mod:`repro.cleaning` -- budgeted cleaning (Section V): the optimal
+  DP planner, the Greedy / RandP / RandU heuristics, plan execution,
+  and the inverse/adaptive extensions.
+
+Quickstart
+----------
+>>> from repro import datasets, evaluate, build_cleaning_problem, GreedyCleaner
+>>> db = datasets.udb1()
+>>> report = evaluate(db, k=2, threshold=0.4)
+>>> report.ptk.tids
+['t1', 't2', 't5']
+>>> round(report.quality_score, 2)
+-2.55
+"""
+
+from repro import cleaning, core, datasets, db, queries
+from repro.cleaning import (
+    CleaningPlan,
+    CleaningProblem,
+    DPCleaner,
+    GreedyCleaner,
+    RandPCleaner,
+    RandUCleaner,
+    build_cleaning_problem,
+    clean_adaptively,
+    execute_plan,
+    expected_improvement,
+    min_cost_plan,
+)
+from repro.core import (
+    compute_quality,
+    compute_quality_detailed,
+    compute_quality_pw,
+    compute_quality_pwr,
+    compute_quality_tp,
+)
+from repro.db import (
+    ProbabilisticDatabase,
+    ProbabilisticTuple,
+    RankedDatabase,
+    RankingFunction,
+    XTuple,
+    by_value,
+    make_xtuple,
+)
+from repro.exceptions import (
+    InfeasibleTargetError,
+    InvalidCleaningProblemError,
+    InvalidDatabaseError,
+    InvalidQueryError,
+    ReproError,
+)
+from repro.queries import (
+    EvaluationReport,
+    compute_rank_probabilities,
+    evaluate,
+    evaluate_without_sharing,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # submodules
+    "db",
+    "queries",
+    "core",
+    "cleaning",
+    "datasets",
+    # database model
+    "ProbabilisticDatabase",
+    "RankedDatabase",
+    "ProbabilisticTuple",
+    "XTuple",
+    "make_xtuple",
+    "RankingFunction",
+    "by_value",
+    # queries
+    "evaluate",
+    "evaluate_without_sharing",
+    "EvaluationReport",
+    "compute_rank_probabilities",
+    # quality
+    "compute_quality",
+    "compute_quality_detailed",
+    "compute_quality_tp",
+    "compute_quality_pwr",
+    "compute_quality_pw",
+    # cleaning
+    "CleaningProblem",
+    "CleaningPlan",
+    "build_cleaning_problem",
+    "DPCleaner",
+    "GreedyCleaner",
+    "RandPCleaner",
+    "RandUCleaner",
+    "expected_improvement",
+    "execute_plan",
+    "min_cost_plan",
+    "clean_adaptively",
+    # exceptions
+    "ReproError",
+    "InvalidDatabaseError",
+    "InvalidQueryError",
+    "InvalidCleaningProblemError",
+    "InfeasibleTargetError",
+]

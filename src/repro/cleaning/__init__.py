@@ -1,0 +1,75 @@
+"""Budgeted cleaning of uncertain data -- the paper's second
+contribution (Section V).
+
+Workflow:
+
+1. Evaluate the quality with TP (:mod:`repro.core.tp`) or the shared
+   engine (:mod:`repro.queries.engine`).
+2. Build a :class:`~repro.cleaning.model.CleaningProblem` from the
+   quality result plus per-x-tuple costs, sc-probabilities and the
+   budget (:func:`~repro.cleaning.model.build_cleaning_problem`).
+3. Plan with one of the planners: :class:`~repro.cleaning.dp.DPCleaner`
+   (optimal), :class:`~repro.cleaning.greedy.GreedyCleaner`
+   (near-optimal), :class:`~repro.cleaning.random_cleaners.RandPCleaner`
+   or :class:`~repro.cleaning.random_cleaners.RandUCleaner` (baselines).
+4. Score the plan with
+   :func:`~repro.cleaning.improvement.expected_improvement` (Theorem 2)
+   and/or execute it with
+   :func:`~repro.cleaning.executor.execute_plan`.
+
+Extensions beyond the paper: inverse cleaning
+(:mod:`repro.cleaning.inverse`) and adaptive re-planning
+(:mod:`repro.cleaning.adaptive`).
+"""
+
+from repro.cleaning.adaptive import AdaptiveCleaningResult, clean_adaptively
+from repro.cleaning.base import Cleaner
+from repro.cleaning.dp import DPCleaner
+from repro.cleaning.executor import CleaningOutcome, ProbeRecord, execute_plan
+from repro.cleaning.greedy import GreedyCleaner
+from repro.cleaning.improvement import (
+    cumulative_gain,
+    expected_improvement,
+    expected_improvement_bruteforce,
+    expected_quality_after,
+    improvement_upper_bound,
+    marginal_gain,
+)
+from repro.cleaning.inverse import (
+    InverseCleaningSolution,
+    min_cost_plan,
+    min_cost_plan_greedy,
+)
+from repro.cleaning.model import (
+    CleaningPlan,
+    CleaningProblem,
+    EMPTY_PLAN,
+    build_cleaning_problem,
+)
+from repro.cleaning.random_cleaners import RandPCleaner, RandUCleaner
+
+__all__ = [
+    "CleaningProblem",
+    "CleaningPlan",
+    "EMPTY_PLAN",
+    "build_cleaning_problem",
+    "Cleaner",
+    "DPCleaner",
+    "GreedyCleaner",
+    "RandPCleaner",
+    "RandUCleaner",
+    "expected_improvement",
+    "expected_improvement_bruteforce",
+    "expected_quality_after",
+    "improvement_upper_bound",
+    "marginal_gain",
+    "cumulative_gain",
+    "execute_plan",
+    "CleaningOutcome",
+    "ProbeRecord",
+    "min_cost_plan",
+    "min_cost_plan_greedy",
+    "InverseCleaningSolution",
+    "clean_adaptively",
+    "AdaptiveCleaningResult",
+]

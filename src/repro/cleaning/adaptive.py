@@ -1,0 +1,142 @@
+"""Adaptive cleaning: re-plan with the budget early successes free up.
+
+The paper plans once, before any probe runs, and explicitly defers "how
+to update the list so that the rest of the resources can be used to
+further improve the quality" to future work (Section V-A).  This module
+implements that loop as an extension:
+
+    round:  evaluate quality -> plan under remaining budget ->
+            execute -> subtract *actual* spend -> repeat
+
+Two effects make the adaptive loop outperform one-shot planning in
+realized (not expected) improvement: probes saved by early successes
+are re-invested, and later rounds see the *actual* outcome databases --
+an x-tuple that got cleaned no longer attracts budget, a probe that
+kept failing can be retried.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cleaning.base import Cleaner
+from repro.cleaning.executor import CleaningOutcome, execute_plan
+from repro.cleaning.model import CleaningProblem, build_cleaning_problem
+from repro.core.tp import compute_quality_tp
+from repro.db.database import ProbabilisticDatabase
+
+
+@dataclass(frozen=True)
+class AdaptiveRound:
+    """One plan/execute cycle of the adaptive loop."""
+
+    round_index: int
+    budget_before: int
+    quality_before: float
+    outcome: CleaningOutcome
+
+    @property
+    def cost_spent(self) -> int:
+        return self.outcome.cost_spent
+
+
+@dataclass(frozen=True)
+class AdaptiveCleaningResult:
+    """Full trace of an adaptive cleaning session."""
+
+    final_db: ProbabilisticDatabase
+    rounds: Tuple[AdaptiveRound, ...]
+    initial_quality: float
+    final_quality: float
+    budget: int
+    budget_spent: int
+
+    @property
+    def realized_improvement(self) -> float:
+        return self.final_quality - self.initial_quality
+
+
+def clean_adaptively(
+    db: ProbabilisticDatabase,
+    problem: CleaningProblem,
+    planner: Cleaner,
+    rng: Optional[random.Random] = None,
+    max_rounds: int = 100,
+) -> AdaptiveCleaningResult:
+    """Run the plan/execute/re-plan loop until the budget is spent.
+
+    Parameters
+    ----------
+    db:
+        The database to clean (must be the one ``problem`` was built on).
+    problem:
+        The initial cleaning instance; supplies budget, costs and
+        sc-probabilities.  Costs/sc-probabilities of an x-tuple are
+        looked up by id, so they survive across rounds.
+    planner:
+        Any :class:`~repro.cleaning.base.Cleaner` (DP, Greedy, ...).
+    rng:
+        Randomness for probe outcomes (fixed seed by default).
+    max_rounds:
+        Hard stop against pathological zero-spend cycles.
+    """
+    rng = rng or random.Random(0)
+    ranking = problem.ranked.ranking
+    k = problem.k
+
+    cost_by_xid = {
+        problem.xtuple_id(l): problem.costs[l]
+        for l in range(problem.num_xtuples)
+    }
+    sc_by_xid = {
+        problem.xtuple_id(l): problem.sc_probabilities[l]
+        for l in range(problem.num_xtuples)
+    }
+
+    current_db = db
+    remaining = problem.budget
+    rounds: List[AdaptiveRound] = []
+    initial_quality = compute_quality_tp(db.ranked(ranking), k).quality
+    current_quality = initial_quality
+
+    for round_index in range(max_rounds):
+        if remaining <= 0:
+            break
+        quality = compute_quality_tp(current_db.ranked(ranking), k)
+        current_quality = quality.quality
+        round_problem = build_cleaning_problem(
+            quality,
+            costs={xt.xid: cost_by_xid[xt.xid] for xt in current_db.xtuples},
+            sc_probabilities={
+                xt.xid: sc_by_xid[xt.xid] for xt in current_db.xtuples
+            },
+            budget=remaining,
+        )
+        plan = planner.plan(round_problem)
+        if not plan.operations:
+            break
+        outcome = execute_plan(current_db, round_problem, plan, rng=rng)
+        rounds.append(
+            AdaptiveRound(
+                round_index=round_index,
+                budget_before=remaining,
+                quality_before=current_quality,
+                outcome=outcome,
+            )
+        )
+        if outcome.cost_spent == 0:  # pragma: no cover - defensive
+            break
+        remaining -= outcome.cost_spent
+        current_db = outcome.cleaned_db
+
+    final_quality = compute_quality_tp(current_db.ranked(ranking), k).quality
+    return AdaptiveCleaningResult(
+        final_db=current_db,
+        rounds=tuple(rounds),
+        initial_quality=initial_quality,
+        final_quality=final_quality,
+        budget=problem.budget,
+        budget_spent=problem.budget - remaining,
+    )

@@ -1,0 +1,26 @@
+"""Planner interface shared by all cleaning algorithms.
+
+A *planner* maps a :class:`~repro.cleaning.model.CleaningProblem` to a
+:class:`~repro.cleaning.model.CleaningPlan` that fits the budget.  The
+four planners of Section V-D (DP, Greedy, RandP, RandU) and the
+extensions all implement this protocol, so benchmark sweeps and the
+adaptive loop can treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.cleaning.model import CleaningPlan, CleaningProblem
+
+
+@runtime_checkable
+class Cleaner(Protocol):
+    """Anything that can plan cleaning under a budget."""
+
+    #: Short name used in benchmark tables ("DP", "Greedy", ...).
+    name: str
+
+    def plan(self, problem: CleaningProblem) -> CleaningPlan:
+        """Return a budget-feasible plan for ``problem``."""
+        ...

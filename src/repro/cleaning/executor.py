@@ -1,0 +1,145 @@
+"""Plan execution: simulate the cleaning agent (Section V-A).
+
+A planner only *decides* ``(X, M)``; someone still has to make the
+phone calls.  :func:`execute_plan` simulates the cleaning agent of the
+paper: it probes each selected x-tuple up to its assigned count,
+stopping early on success (the paper: "the cleaning agent will not
+perform more cleaning operations on this x-tuple"), and returns the
+resulting database together with the budget actually spent -- the
+leftover feeds the adaptive re-cleaning extension.
+
+A successful probe reveals the entity's real value: alternative ``t_i``
+with probability ``e_i``, or -- for incomplete x-tuples -- "no reading"
+with the null mass ``1 - s_l``, in which case the entity is removed
+from the cleaned database (it is now certain to contribute nothing).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cleaning.model import CleaningPlan, CleaningProblem
+from repro.db.database import ProbabilisticDatabase
+
+
+@dataclass(frozen=True)
+class ProbeRecord:
+    """What happened to one x-tuple during plan execution.
+
+    ``revealed_tid`` is the alternative confirmed as real (``None`` both
+    on failure and on a revealed-null outcome; distinguish the latter by
+    ``revealed_null``).
+    """
+
+    xid: str
+    assigned: int
+    performed: int
+    succeeded: bool
+    revealed_tid: Optional[str]
+    revealed_null: bool
+
+
+@dataclass(frozen=True)
+class CleaningOutcome:
+    """Result of executing a plan against a database."""
+
+    cleaned_db: ProbabilisticDatabase
+    records: Tuple[ProbeRecord, ...]
+    cost_assigned: int
+    cost_spent: int
+
+    @property
+    def cost_saved(self) -> int:
+        """Budget freed by early successes (reusable by adaptive loops)."""
+        return self.cost_assigned - self.cost_spent
+
+    @property
+    def num_succeeded(self) -> int:
+        return sum(1 for r in self.records if r.succeeded)
+
+
+def execute_plan(
+    db: ProbabilisticDatabase,
+    problem: CleaningProblem,
+    plan: CleaningPlan,
+    rng: Optional[random.Random] = None,
+) -> CleaningOutcome:
+    """Simulate the cleaning agent executing ``plan`` on ``db``.
+
+    Parameters
+    ----------
+    db:
+        The database the plan was computed for (the problem's ranked
+        view must stem from this database).
+    problem:
+        Supplies per-x-tuple costs and sc-probabilities.
+    plan:
+        The probe assignment to carry out.
+    rng:
+        Randomness source; defaults to a fixed-seed generator so
+        simulations are reproducible by default.
+    """
+    rng = rng or random.Random(0)
+    records: List[ProbeRecord] = []
+    cost_assigned = 0
+    cost_spent = 0
+    cleaned = db
+    dropped: List[str] = []
+
+    for xid in sorted(plan.operations):
+        assigned = plan.operations[xid]
+        l = problem.xtuple_index(xid)
+        cost = problem.costs[l]
+        sc = problem.sc_probabilities[l]
+        cost_assigned += cost * assigned
+
+        performed = 0
+        succeeded = False
+        for _ in range(assigned):
+            performed += 1
+            cost_spent += cost
+            if rng.random() < sc:
+                succeeded = True
+                break
+
+        revealed_tid: Optional[str] = None
+        revealed_null = False
+        if succeeded:
+            xt = db.xtuple(xid)
+            u = rng.random()
+            acc = 0.0
+            for t in xt.alternatives:
+                acc += t.probability
+                if u < acc:
+                    revealed_tid = t.tid
+                    break
+            if revealed_tid is None:
+                revealed_null = True
+                dropped.append(xid)
+            else:
+                cleaned = cleaned.with_xtuple_replaced(
+                    xid, xt.collapsed_to(revealed_tid)
+                )
+        records.append(
+            ProbeRecord(
+                xid=xid,
+                assigned=assigned,
+                performed=performed,
+                succeeded=succeeded,
+                revealed_tid=revealed_tid,
+                revealed_null=revealed_null,
+            )
+        )
+
+    if dropped:
+        remaining = [xt for xt in cleaned.xtuples if xt.xid not in set(dropped)]
+        cleaned = ProbabilisticDatabase(remaining, name=cleaned.name)
+
+    return CleaningOutcome(
+        cleaned_db=cleaned,
+        records=tuple(records),
+        cost_assigned=cost_assigned,
+        cost_spent=cost_spent,
+    )

@@ -1,0 +1,198 @@
+"""0/1 knapsack with item groups -- the optimization core of Theorem 3.
+
+The cleaning problem reduces to a knapsack ``P(C, Z)`` whose items are
+probe operations ``(l, j)`` with value ``b(l, D, j)`` and cost ``c_l``
+(Section V-C).  All items of one x-tuple share a cost and their values
+decrease in ``j`` (Lemma 4), so an optimal solution always takes a
+*prefix* of each x-tuple's items; we therefore solve a *grouped*
+knapsack -- for each group choose how many of its first items to take --
+which is equivalent and reconstructs in ``O(|Z|)`` memory per capacity.
+
+Two implementations are provided: a numpy-vectorized DP (default; the
+inner maximization over capacities is one array op per ``(group, j)``)
+and a pure-Python reference used for tiny inputs and as a cross-check.
+A brute-force enumerator backs both in the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KnapsackGroup:
+    """One x-tuple's probe ladder: equal-cost items, decreasing values.
+
+    ``values[j-1]`` is the marginal value of taking the j-th item given
+    the first ``j-1`` were taken.
+    """
+
+    cost: int
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.cost < 1:
+            raise ValueError(f"group cost must be >= 1, got {self.cost}")
+        for v in self.values:
+            if v < 0.0:
+                raise ValueError(f"group values must be non-negative, got {v}")
+
+    def prefix_value(self, count: int) -> float:
+        """Total value of taking the first ``count`` items."""
+        return float(sum(self.values[:count]))
+
+
+@dataclass
+class GroupedKnapsackSolution:
+    """Optimal counts per group plus the full value-vs-capacity curve.
+
+    ``best_value_by_capacity[c]`` is the optimum under budget ``c``
+    (non-decreasing); the inverse-cleaning solver reads minimum costs
+    straight off this curve.
+    """
+
+    value: float
+    cost: int
+    counts: List[int]
+    best_value_by_capacity: np.ndarray
+
+
+def solve_grouped_knapsack(
+    groups: Sequence[KnapsackGroup],
+    capacity: int,
+    use_numpy: bool = True,
+) -> GroupedKnapsackSolution:
+    """Exact DP for the grouped knapsack.
+
+    Time ``O(Σ_l J_l · C)`` (the paper's ``O(C²|Z|)`` with
+    ``J_l = C/c_l``), memory ``O(|Z|·C)`` for reconstruction.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity}")
+    if use_numpy:
+        return _solve_numpy(groups, capacity)
+    return _solve_python(groups, capacity)
+
+
+def _solve_numpy(
+    groups: Sequence[KnapsackGroup], capacity: int
+) -> GroupedKnapsackSolution:
+    dp = np.zeros(capacity + 1, dtype=np.float64)
+    choices = np.zeros((len(groups), capacity + 1), dtype=np.int32)
+    for gi, group in enumerate(groups):
+        cost = group.cost
+        new_dp = dp.copy()
+        choice = choices[gi]
+        cumulative = 0.0
+        for j, value in enumerate(group.values, start=1):
+            total_cost = j * cost
+            if total_cost > capacity:
+                break
+            cumulative += value
+            candidate = dp[: capacity + 1 - total_cost] + cumulative
+            target = new_dp[total_cost:]
+            better = candidate > target
+            target[better] = candidate[better]
+            choice[total_cost:][better] = j
+        dp = new_dp
+    counts = _reconstruct(groups, choices, capacity)
+    cost_used = sum(g.cost * c for g, c in zip(groups, counts))
+    return GroupedKnapsackSolution(
+        value=float(dp[capacity]),
+        cost=cost_used,
+        counts=counts,
+        best_value_by_capacity=dp,
+    )
+
+
+def _solve_python(
+    groups: Sequence[KnapsackGroup], capacity: int
+) -> GroupedKnapsackSolution:
+    dp = [0.0] * (capacity + 1)
+    choices: List[List[int]] = []
+    for group in groups:
+        cost = group.cost
+        new_dp = list(dp)
+        choice = [0] * (capacity + 1)
+        cumulative = 0.0
+        for j, value in enumerate(group.values, start=1):
+            total_cost = j * cost
+            if total_cost > capacity:
+                break
+            cumulative += value
+            for c in range(capacity, total_cost - 1, -1):
+                candidate = dp[c - total_cost] + cumulative
+                if candidate > new_dp[c]:
+                    new_dp[c] = candidate
+                    choice[c] = j
+        dp = new_dp
+        choices.append(choice)
+    counts = _reconstruct(groups, choices, capacity)
+    cost_used = sum(g.cost * c for g, c in zip(groups, counts))
+    return GroupedKnapsackSolution(
+        value=dp[capacity],
+        cost=cost_used,
+        counts=counts,
+        best_value_by_capacity=np.asarray(dp),
+    )
+
+
+def _reconstruct(
+    groups: Sequence[KnapsackGroup], choices, capacity: int
+) -> List[int]:
+    counts = [0] * len(groups)
+    remaining = capacity
+    for gi in range(len(groups) - 1, -1, -1):
+        j = int(choices[gi][remaining])
+        counts[gi] = j
+        remaining -= j * groups[gi].cost
+    assert remaining >= 0, "knapsack reconstruction exceeded capacity"
+    return counts
+
+
+def solve_grouped_knapsack_bruteforce(
+    groups: Sequence[KnapsackGroup], capacity: int
+) -> Tuple[float, List[int]]:
+    """Exhaustive optimum over all count combinations. Test oracle only."""
+    ranges = [
+        range(min(len(g.values), capacity // g.cost) + 1) for g in groups
+    ]
+    best_value = 0.0
+    best_counts = [0] * len(groups)
+    for combo in itertools.product(*ranges):
+        cost = sum(g.cost * c for g, c in zip(groups, combo))
+        if cost > capacity:
+            continue
+        value = sum(g.prefix_value(c) for g, c in zip(groups, combo))
+        if value > best_value:
+            best_value = value
+            best_counts = list(combo)
+    return best_value, best_counts
+
+
+def solve_01_knapsack_bruteforce(
+    values: Sequence[float], costs: Sequence[int], capacity: int
+) -> Tuple[float, List[int]]:
+    """Plain 0/1 knapsack by subset enumeration. Test oracle only."""
+    n = len(values)
+    if n != len(costs):
+        raise ValueError("values and costs must have equal length")
+    best_value = 0.0
+    best_subset: List[int] = []
+    for mask in range(1 << n):
+        cost = 0
+        value = 0.0
+        subset = []
+        for i in range(n):
+            if mask >> i & 1:
+                cost += costs[i]
+                value += values[i]
+                subset.append(i)
+        if cost <= capacity and value > best_value:
+            best_value = value
+            best_subset = subset
+    return best_value, best_subset

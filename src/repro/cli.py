@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``generate``
+    Produce a synthetic or simulated-MOV probabilistic database as a
+    JSON file (Section VI workloads).
+``quality``
+    Compute the PWS-quality of a top-k query over a database file with
+    any of the four algorithms.
+``query``
+    Answer a U-kRanks / PT-k / Global-topk query (plus the quality,
+    shared from the same PSR pass).
+``clean``
+    Plan budgeted cleaning with DP / Greedy / RandP / RandU, report the
+    expected improvement, optionally simulate execution and write the
+    cleaned database.
+
+Costs and sc-probabilities for ``clean`` are either generated from
+seeds (matching the paper's experimental setup) or read from a JSON
+mapping ``{xtuple_id: value}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from typing import Dict, Optional
+
+from repro.cleaning.dp import DPCleaner
+from repro.cleaning.executor import execute_plan
+from repro.cleaning.greedy import GreedyCleaner
+from repro.cleaning.improvement import expected_improvement
+from repro.cleaning.model import build_cleaning_problem
+from repro.cleaning.random_cleaners import RandPCleaner, RandUCleaner
+from repro.core.quality import METHODS, compute_quality_detailed
+from repro.core.tp import compute_quality_tp
+from repro.datasets.mov import generate_mov
+from repro.datasets.synthetic import (
+    generate_costs,
+    generate_sc_probabilities,
+    generate_synthetic,
+)
+from repro.db import io
+from repro.db.ranking import by_sum_of_keys, by_value
+from repro.queries.engine import evaluate
+
+PLANNERS = {
+    "dp": DPCleaner,
+    "greedy": GreedyCleaner,
+    "randp": RandPCleaner,
+    "randu": RandUCleaner,
+}
+
+
+def _ranking_for(name: str):
+    if name == "value":
+        return by_value()
+    if name == "mov":
+        return by_sum_of_keys("date", "rating")
+    raise SystemExit(f"unknown ranking {name!r}; pick 'value' or 'mov'")
+
+
+def _load_mapping(path: Optional[str]) -> Optional[Dict[str, float]]:
+    if path is None:
+        return None
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    """``repro generate``: write a workload database to JSON."""
+    if args.kind == "synthetic":
+        db = generate_synthetic(
+            num_xtuples=args.xtuples,
+            sigma=args.sigma,
+            uncertainty=args.uncertainty,
+            seed=args.seed,
+        )
+    else:
+        db = generate_mov(num_xtuples=args.xtuples, seed=args.seed)
+    io.save_json(db, args.output)
+    print(
+        f"wrote {db.num_xtuples} x-tuples / {db.num_tuples} tuples "
+        f"({db.name}) to {args.output}"
+    )
+    return 0
+
+
+def cmd_quality(args: argparse.Namespace) -> int:
+    """``repro quality``: score a top-k query's ambiguity."""
+    db = io.load_json(args.db)
+    ranked = db.ranked(_ranking_for(args.ranking))
+    kwargs = {}
+    if args.method == "montecarlo":
+        kwargs["num_samples"] = args.samples
+    result = compute_quality_detailed(ranked, args.k, method=args.method, **kwargs)
+    print(f"PWS-quality (k={args.k}, {args.method}): {result.quality:.6f}")
+    num_results = getattr(result, "num_results", None)
+    if num_results is not None:
+        print(f"distinct pw-results: {num_results}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``repro query``: answer the probabilistic top-k semantics."""
+    db = io.load_json(args.db)
+    ranked = db.ranked(_ranking_for(args.ranking))
+    report = evaluate(ranked, args.k, threshold=args.threshold)
+    if args.semantics in ("ptk", "all"):
+        print(f"PT-{args.k} (T={args.threshold}): {report.ptk.tids}")
+    if args.semantics in ("ukranks", "all"):
+        winners = [(w.rank, w.tid, round(w.probability, 4)) for w in report.ukranks.winners]
+        print(f"U-kRanks: {winners}")
+    if args.semantics in ("global-topk", "all"):
+        print(f"Global-top{args.k}: {report.global_topk.tids}")
+    print(f"PWS-quality: {report.quality_score:.6f}")
+    return 0
+
+
+def cmd_clean(args: argparse.Namespace) -> int:
+    """``repro clean``: plan (and optionally simulate) cleaning."""
+    db = io.load_json(args.db)
+    ranked = db.ranked(_ranking_for(args.ranking))
+    quality = compute_quality_tp(ranked, args.k)
+    costs = _load_mapping(args.costs) or generate_costs(db, seed=args.costs_seed)
+    sc = _load_mapping(args.sc) or generate_sc_probabilities(db, seed=args.sc_seed)
+    problem = build_cleaning_problem(quality, costs, sc, args.budget)
+
+    planner = PLANNERS[args.planner]()
+    plan = planner.plan(problem)
+    improvement = expected_improvement(problem, plan)
+    print(f"quality before cleaning: {quality.quality:.6f}")
+    print(
+        f"{planner.name} plan: {plan.total_operations} operations on "
+        f"{len(plan)} x-tuples, cost {plan.total_cost(problem)}/{args.budget}"
+    )
+    print(f"expected improvement: {improvement:.6f}")
+    if args.verbose:
+        for xid in sorted(plan.operations):
+            print(f"  pclean({xid}) x{plan.operations[xid]}")
+
+    if args.execute or args.output:
+        outcome = execute_plan(
+            db, problem, plan, rng=random.Random(args.execute_seed)
+        )
+        after = compute_quality_tp(
+            outcome.cleaned_db.ranked(_ranking_for(args.ranking)), args.k
+        )
+        print(
+            f"simulated execution: {outcome.num_succeeded}/"
+            f"{len(outcome.records)} x-tuples cleaned, spent "
+            f"{outcome.cost_spent} of {outcome.cost_assigned} assigned"
+        )
+        print(f"quality after cleaning: {after.quality:.6f}")
+        if args.output:
+            io.save_json(outcome.cleaned_db, args.output)
+            print(f"wrote cleaned database to {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Probabilistic top-k quality and cleaning (ICDE 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a workload database")
+    g.add_argument("kind", choices=("synthetic", "mov"))
+    g.add_argument("--output", "-o", required=True)
+    g.add_argument("--xtuples", type=int, default=1000)
+    g.add_argument("--sigma", type=float, default=100.0)
+    g.add_argument(
+        "--uncertainty", choices=("gaussian", "uniform"), default="gaussian"
+    )
+    g.add_argument("--seed", type=int, default=0)
+    g.set_defaults(fn=cmd_generate)
+
+    q = sub.add_parser("quality", help="compute the PWS-quality")
+    q.add_argument("--db", required=True)
+    q.add_argument("-k", type=int, default=15)
+    q.add_argument("--method", choices=METHODS, default="tp")
+    q.add_argument("--samples", type=int, default=10_000)
+    q.add_argument("--ranking", choices=("value", "mov"), default="value")
+    q.set_defaults(fn=cmd_quality)
+
+    r = sub.add_parser("query", help="answer a probabilistic top-k query")
+    r.add_argument("--db", required=True)
+    r.add_argument("-k", type=int, default=15)
+    r.add_argument(
+        "--semantics",
+        choices=("ptk", "ukranks", "global-topk", "all"),
+        default="all",
+    )
+    r.add_argument("--threshold", type=float, default=0.1)
+    r.add_argument("--ranking", choices=("value", "mov"), default="value")
+    r.set_defaults(fn=cmd_query)
+
+    c = sub.add_parser("clean", help="plan (and simulate) budgeted cleaning")
+    c.add_argument("--db", required=True)
+    c.add_argument("-k", type=int, default=15)
+    c.add_argument("--budget", type=int, required=True)
+    c.add_argument("--planner", choices=sorted(PLANNERS), default="greedy")
+    c.add_argument("--costs", help="JSON mapping {xid: cost}")
+    c.add_argument("--sc", help="JSON mapping {xid: sc-probability}")
+    c.add_argument("--costs-seed", type=int, default=0)
+    c.add_argument("--sc-seed", type=int, default=0)
+    c.add_argument("--execute", action="store_true", help="simulate the probes")
+    c.add_argument("--execute-seed", type=int, default=0)
+    c.add_argument("--output", "-o", help="write the cleaned database here")
+    c.add_argument("--ranking", choices=("value", "mov"), default="value")
+    c.add_argument("--verbose", "-v", action="store_true")
+    c.set_defaults(fn=cmd_clean)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

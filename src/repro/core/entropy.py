@@ -1,0 +1,53 @@
+"""Entropy helpers shared by the quality algorithms.
+
+The PWS-quality (Definition 4) is ``Σ_r Pr(r)·log2 Pr(r)`` -- the
+*negated* Shannon entropy of the pw-result distribution.  Its maximum is
+zero (a single certain result); with ``N`` equiprobable results it
+bottoms out at ``-log2 N``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable
+
+#: Probabilities at or below this value contribute nothing to entropy
+#: terms; guards ``log2`` against zero and negative round-off.
+PROBABILITY_FLOOR = 0.0
+
+
+def xlog2x(x: float) -> float:
+    """The paper's ``Y(x) = x · log2(x)``, with ``Y(0) = 0``.
+
+    Negative inputs (possible from float cancellation when an x-tuple's
+    probabilities sum to one) are clamped to zero.
+    """
+    if x <= PROBABILITY_FLOOR:
+        return 0.0
+    return x * math.log2(x)
+
+
+def negated_entropy(probabilities: Iterable[float]) -> float:
+    """``Σ p·log2 p`` over the given probabilities (zero terms skipped).
+
+    This is the PWS-quality of a result distribution; always <= 0.
+    Uses ``math.fsum`` for a numerically robust total.
+    """
+    return math.fsum(xlog2x(p) for p in probabilities)
+
+
+def entropy(probabilities: Iterable[float]) -> float:
+    """Shannon entropy in bits (the negation of :func:`negated_entropy`)."""
+    return -negated_entropy(probabilities)
+
+
+def quality_of_distribution(distribution: Dict[object, float]) -> float:
+    """PWS-quality of an explicit result distribution (Definition 4)."""
+    return negated_entropy(distribution.values())
+
+
+def quality_lower_bound(num_results: int) -> float:
+    """``-log2 N``: the lowest quality any ``N``-result distribution allows."""
+    if num_results < 1:
+        raise ValueError("a result distribution holds at least one result")
+    return -math.log2(num_results)

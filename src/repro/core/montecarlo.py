@@ -1,0 +1,84 @@
+"""Monte-Carlo quality estimation (library extension).
+
+Samples possible worlds, evaluates the deterministic top-k in each, and
+estimates the PWS-quality as the negated plug-in entropy of the
+empirical pw-result distribution.  Useful as an anytime sanity check on
+databases too large for PW/PWR yet violating TP's full-length-result
+assumption, and as an independent cross-check in the test suite.
+
+The plug-in entropy estimator is biased low by roughly
+``(#distinct - 1) / (2·N·ln 2)`` bits; the Miller-Madow correction
+(enabled by default) adds that term back.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.db.database import RankedDatabase
+from repro.db.possible_worlds import sample_world
+from repro.queries.deterministic import PWResult, require_valid_k, topk_of_world
+
+
+@dataclass(frozen=True)
+class MonteCarloQualityResult:
+    """Estimate of the PWS-quality from sampled worlds.
+
+    ``std_error`` is the delta-method standard error of the entropy
+    estimate: ``sqrt(Var[log2 p̂(r)] / N)`` under the empirical
+    distribution.
+    """
+
+    quality: float
+    num_samples: int
+    num_distinct_results: int
+    std_error: float
+    distribution: Dict[PWResult, float]
+
+
+def compute_quality_montecarlo(
+    ranked: RankedDatabase,
+    k: int,
+    num_samples: int = 10_000,
+    rng: Optional[random.Random] = None,
+    miller_madow: bool = True,
+) -> MonteCarloQualityResult:
+    """Estimate the PWS-quality from ``num_samples`` sampled worlds."""
+    require_valid_k(k)
+    if num_samples < 1:
+        raise ValueError("num_samples must be positive")
+    rng = rng or random.Random(0)
+    counts: Dict[PWResult, int] = {}
+    for _ in range(num_samples):
+        world = sample_world(ranked.db, rng)
+        result = topk_of_world(ranked, world, k)
+        counts[result] = counts.get(result, 0) + 1
+
+    empirical = {r: c / num_samples for r, c in counts.items()}
+    entropy_terms = [
+        p * math.log2(p) for p in empirical.values() if p > 0.0
+    ]
+    plugin_quality = math.fsum(entropy_terms)
+    if miller_madow:
+        plugin_quality -= (len(counts) - 1) / (2.0 * num_samples * math.log(2))
+
+    # Delta-method variance of the entropy estimate.
+    mean_log = math.fsum(
+        p * math.log2(p) for p in empirical.values() if p > 0.0
+    )
+    second_moment = math.fsum(
+        p * math.log2(p) ** 2 for p in empirical.values() if p > 0.0
+    )
+    variance = max(0.0, second_moment - mean_log**2)
+    std_error = math.sqrt(variance / num_samples)
+
+    return MonteCarloQualityResult(
+        quality=plugin_quality,
+        num_samples=num_samples,
+        num_distinct_results=len(counts),
+        std_error=std_error,
+        distribution=empirical,
+    )

@@ -1,0 +1,70 @@
+"""PW: the naive quality algorithm (paper Section III-C, Figure 1(a)).
+
+Expands every possible world (Step 1), evaluates a deterministic top-k
+query in each (Step 2), aggregates equal pw-results, and scores the
+resulting distribution with Definition 4 (Step A).  Exponential in the
+number of x-tuples -- the paper reports 36.2 *minutes* for a 10-x-tuple
+database -- so it exists purely as ground truth and as the slowest line
+of Figure 4(d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.db.database import RankedDatabase
+from repro.queries.brute_force import pw_result_distribution
+from repro.core.entropy import quality_of_distribution
+from repro.queries.deterministic import PWResult
+
+
+@dataclass(frozen=True)
+class PWQualityResult:
+    """Output of the PW algorithm.
+
+    Attributes
+    ----------
+    quality:
+        The PWS-quality score ``S(D, Q)``.
+    num_results:
+        Number of distinct pw-results.
+    distribution:
+        The full pw-result distribution (kept because PW only runs on
+        tiny inputs anyway, and Figures 2-3 plot it).
+    """
+
+    quality: float
+    num_results: int
+    distribution: Dict[PWResult, float]
+
+
+def compute_quality_pw(
+    ranked: RankedDatabase, k: int, max_worlds: Optional[int] = None
+) -> PWQualityResult:
+    """Run the naive PW pipeline.
+
+    Parameters
+    ----------
+    ranked:
+        Pre-sorted database.
+    k:
+        Top-k parameter.
+    max_worlds:
+        Optional safety valve: raise ``ValueError`` when the database
+        has more possible worlds than this, instead of running for
+        hours.  ``None`` disables the check.
+    """
+    if max_worlds is not None:
+        worlds = ranked.db.num_possible_worlds()
+        if worlds > max_worlds:
+            raise ValueError(
+                f"database has {worlds} possible worlds, exceeding the "
+                f"max_worlds cap of {max_worlds}"
+            )
+    distribution = pw_result_distribution(ranked, k)
+    return PWQualityResult(
+        quality=quality_of_distribution(distribution),
+        num_results=len(distribution),
+        distribution=distribution,
+    )

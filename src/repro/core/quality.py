@@ -1,0 +1,84 @@
+"""Unified entry point for PWS-quality computation.
+
+``compute_quality(db, k)`` is what most users want: it sorts the
+database (or accepts a pre-sorted view), runs the requested algorithm,
+and returns the score.  ``compute_quality_detailed`` returns the
+algorithm-specific result object with all intermediates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.montecarlo import compute_quality_montecarlo
+from repro.core.pw import compute_quality_pw
+from repro.core.pwr import compute_quality_pwr
+from repro.core.tp import compute_quality_tp
+from repro.db.database import ProbabilisticDatabase, RankedDatabase
+from repro.db.ranking import RankingFunction
+
+#: The quality algorithms selectable by name.
+METHODS = ("tp", "pwr", "pw", "montecarlo")
+
+DatabaseLike = Union[ProbabilisticDatabase, RankedDatabase]
+
+
+def _as_ranked(
+    db: DatabaseLike, ranking: Optional[RankingFunction]
+) -> RankedDatabase:
+    if isinstance(db, RankedDatabase):
+        if ranking is not None and ranking is not db.ranking:
+            raise ValueError(
+                "cannot override the ranking of an already-ranked database"
+            )
+        return db
+    return db.ranked(ranking)
+
+
+def compute_quality_detailed(
+    db: DatabaseLike,
+    k: int,
+    method: str = "tp",
+    ranking: Optional[RankingFunction] = None,
+    **kwargs,
+):
+    """Compute the PWS-quality, returning the full result object.
+
+    Parameters
+    ----------
+    db:
+        A :class:`ProbabilisticDatabase` or a pre-sorted
+        :class:`RankedDatabase`.
+    k:
+        Top-k parameter of the query whose quality is measured.
+    method:
+        One of ``"tp"`` (default, ``O(kn)``), ``"pwr"`` (pw-result
+        enumeration), ``"pw"`` (possible-world enumeration) or
+        ``"montecarlo"`` (sampling estimate).
+    ranking:
+        Ranking function; defaults to ranking by numeric value.
+    kwargs:
+        Forwarded to the selected algorithm (e.g. ``collect=True`` for
+        PWR, ``num_samples=...`` for Monte Carlo).
+    """
+    ranked = _as_ranked(db, ranking)
+    if method == "tp":
+        return compute_quality_tp(ranked, k, **kwargs)
+    if method == "pwr":
+        return compute_quality_pwr(ranked, k, **kwargs)
+    if method == "pw":
+        return compute_quality_pw(ranked, k, **kwargs)
+    if method == "montecarlo":
+        return compute_quality_montecarlo(ranked, k, **kwargs)
+    raise ValueError(f"unknown quality method {method!r}; pick one of {METHODS}")
+
+
+def compute_quality(
+    db: DatabaseLike,
+    k: int,
+    method: str = "tp",
+    ranking: Optional[RankingFunction] = None,
+    **kwargs,
+) -> float:
+    """Compute the PWS-quality score ``S(D, Q)`` (a float ``<= 0``)."""
+    return compute_quality_detailed(db, k, method, ranking, **kwargs).quality

@@ -1,0 +1,64 @@
+"""Tuple weights ``ω_i`` for the TP algorithm (Theorem 1, Eq. 6-9).
+
+Theorem 1 rewrites the PWS-quality as a weighted sum of top-k
+probabilities, ``S(D,Q) = Σ_i ω_i·p_i``, where the weight
+
+    ω_i = log2 e_i + (Y(1 - E_i) - Y(1 - E_i + e_i)) / e_i
+
+depends only on existential probabilities *inside* ``t_i``'s own
+x-tuple: ``E_i`` is the mass of siblings ranked at least as high as
+``t_i`` (including ``t_i`` itself), and ``Y(x) = x·log2 x``.
+
+Because tuples are pre-sorted, ``E_i`` is maintained incrementally with
+one running sum per x-tuple (Eq. 9), giving all weights in ``O(n)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.core.entropy import xlog2x
+from repro.db.database import RankedDatabase
+
+
+def weight_of(existential: float, mass_at_least: float) -> float:
+    """``ω`` for one tuple from its own probability and sibling mass.
+
+    Parameters
+    ----------
+    existential:
+        ``e_i`` -- the tuple's existential probability (> 0).
+    mass_at_least:
+        ``E_i = Σ_{siblings ranked >= t_i} e`` *including* ``e_i``.
+    """
+    one_minus_e = 1.0 - mass_at_least
+    if one_minus_e < 0.0:  # round-off when the x-tuple sums to one
+        one_minus_e = 0.0
+    one_minus_higher = one_minus_e + existential
+    if one_minus_higher > 1.0:
+        one_minus_higher = 1.0
+    return math.log2(existential) + (
+        xlog2x(one_minus_e) - xlog2x(one_minus_higher)
+    ) / existential
+
+
+def compute_weights(
+    ranked: RankedDatabase, upto: Optional[int] = None
+) -> List[float]:
+    """Weights ``ω_i`` for the first ``upto`` ranked tuples.
+
+    ``upto`` defaults to all tuples; the TP algorithm passes the PSR
+    cutoff so that weights are only computed for tuples that can have a
+    nonzero top-k probability (the optimization Lemma 2 licenses).
+    """
+    n = ranked.num_tuples if upto is None else min(upto, ranked.num_tuples)
+    seen: Dict[int, float] = {}
+    weights: List[float] = []
+    for i in range(n):
+        e_i = ranked.probabilities[i]
+        l = ranked.xtuple_indices[i]
+        mass_at_least = seen.get(l, 0.0) + e_i
+        seen[l] = mass_at_least
+        weights.append(weight_of(e_i, mass_at_least))
+    return weights

@@ -1,0 +1,53 @@
+"""The paper's running-example databases (Tables I and II).
+
+``udb1`` is the four-sensor temperature database of Table I; ``udb2``
+is the same database after sensor ``S3`` has been cleaned successfully
+(Table II).  The paper reports, for a top-2 query ranking higher
+temperatures higher:
+
+* ``udb1`` has seven pw-results and PWS-quality ``-2.55`` (Figure 2);
+* ``udb2`` has four pw-results and PWS-quality ``-1.85`` (Figure 3);
+* the PT-2 answer on ``udb1`` with threshold 0.4 is ``{t1, t2, t5}``;
+* possible world ``{t0, t3, t4, t6}`` has probability 0.072;
+* pw-result ``(t1, t2)`` has probability 0.28.
+
+All of these are asserted in the test suite, making the two toy
+databases the library's primary exact regression vectors.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import ProbabilisticDatabase
+from repro.db.tuples import make_xtuple
+
+
+def udb1() -> ProbabilisticDatabase:
+    """Table I: four sensors, seven tuples, temperatures in Celsius."""
+    return ProbabilisticDatabase(
+        [
+            make_xtuple("S1", [("t0", 21.0, 0.6), ("t1", 32.0, 0.4)]),
+            make_xtuple("S2", [("t2", 30.0, 0.7), ("t3", 22.0, 0.3)]),
+            make_xtuple("S3", [("t4", 25.0, 0.4), ("t5", 27.0, 0.6)]),
+            make_xtuple("S4", [("t6", 26.0, 1.0)]),
+        ],
+        name="udb1",
+    )
+
+
+def udb2() -> ProbabilisticDatabase:
+    """Table II: ``udb1`` after a successful ``pclean(S3)`` revealed t5."""
+    return ProbabilisticDatabase(
+        [
+            make_xtuple("S1", [("t0", 21.0, 0.6), ("t1", 32.0, 0.4)]),
+            make_xtuple("S2", [("t2", 30.0, 0.7), ("t3", 22.0, 0.3)]),
+            make_xtuple("S3", [("t5", 27.0, 1.0)]),
+            make_xtuple("S4", [("t6", 26.0, 1.0)]),
+        ],
+        name="udb2",
+    )
+
+
+#: The quality scores the paper reports for a top-2 query (computed to
+#: full precision here; the paper rounds to two decimals).
+UDB1_TOP2_QUALITY = -2.551325921692723
+UDB2_TOP2_QUALITY = -1.8522414936853613

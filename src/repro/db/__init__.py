@@ -1,0 +1,45 @@
+"""Probabilistic database substrate: the x-tuple model (paper Sec. III-A).
+
+Public surface:
+
+* :class:`~repro.db.tuples.ProbabilisticTuple`, :class:`~repro.db.tuples.XTuple`,
+  :func:`~repro.db.tuples.make_xtuple` -- the data model;
+* :class:`~repro.db.database.ProbabilisticDatabase` and its pre-sorted
+  view :class:`~repro.db.database.RankedDatabase`;
+* ranking functions (:mod:`repro.db.ranking`);
+* possible-world enumeration and sampling (:mod:`repro.db.possible_worlds`);
+* JSON/CSV serialization (:mod:`repro.db.io`).
+"""
+
+from repro.db.database import ProbabilisticDatabase, RankedDatabase
+from repro.db.possible_worlds import (
+    PossibleWorld,
+    iter_worlds,
+    sample_world,
+    world_probability,
+)
+from repro.db.ranking import (
+    RankingFunction,
+    by_key,
+    by_sum_of_keys,
+    by_value,
+    custom,
+)
+from repro.db.tuples import ProbabilisticTuple, XTuple, make_xtuple
+
+__all__ = [
+    "ProbabilisticDatabase",
+    "RankedDatabase",
+    "ProbabilisticTuple",
+    "XTuple",
+    "make_xtuple",
+    "RankingFunction",
+    "by_value",
+    "by_key",
+    "by_sum_of_keys",
+    "custom",
+    "PossibleWorld",
+    "iter_worlds",
+    "sample_world",
+    "world_probability",
+]

@@ -1,0 +1,249 @@
+"""The probabilistic database and its ranked (pre-sorted) view.
+
+:class:`ProbabilisticDatabase` stores x-tuples (Section III-A of the
+paper).  The quality and cleaning algorithms never consume the raw
+database directly; they consume a :class:`RankedDatabase` -- the
+database's tuples pre-sorted in descending rank order under a chosen
+ranking function, together with flat arrays (probabilities, x-tuple
+indices) that make the dynamic programs cache-friendly.  This mirrors
+the paper's standing assumption that "tuples in D are arranged in
+descending order of ranks" (Section IV) while paying the sort exactly
+once per (database, ranking) pair.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db.ranking import RankingFunction, by_value
+from repro.db.tuples import ProbabilisticTuple, XTuple
+from repro.exceptions import InvalidDatabaseError
+
+
+class ProbabilisticDatabase:
+    """An x-tuple probabilistic database.
+
+    The database is immutable by convention: cleaning produces *new*
+    databases via :meth:`with_xtuple_replaced` rather than mutating in
+    place, so that quality scores computed against one snapshot stay
+    meaningful.
+
+    Parameters
+    ----------
+    xtuples:
+        The entities of the database, in insertion order.  Insertion
+        order of their member tuples defines the tie-breaking order of
+        the ranking (smaller index ranks higher on equal scores).
+    name:
+        Optional label used in reprs and benchmark output.
+    """
+
+    def __init__(self, xtuples: Iterable[XTuple], name: str = "") -> None:
+        self._xtuples: Tuple[XTuple, ...] = tuple(xtuples)
+        self.name = name
+        self._by_xid: Dict[str, XTuple] = {}
+        self._by_tid: Dict[str, ProbabilisticTuple] = {}
+        self._insertion_index: Dict[str, int] = {}
+        index = 0
+        for xt in self._xtuples:
+            if xt.xid in self._by_xid:
+                raise InvalidDatabaseError(f"duplicate x-tuple id {xt.xid!r}")
+            self._by_xid[xt.xid] = xt
+            for t in xt.alternatives:
+                if t.tid in self._by_tid:
+                    raise InvalidDatabaseError(
+                        f"duplicate tuple id {t.tid!r} across x-tuples"
+                    )
+                self._by_tid[t.tid] = t
+                self._insertion_index[t.tid] = index
+                index += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def xtuples(self) -> Tuple[XTuple, ...]:
+        """The entities in insertion order."""
+        return self._xtuples
+
+    @property
+    def num_xtuples(self) -> int:
+        """Number of entities ``m``."""
+        return len(self._xtuples)
+
+    @property
+    def num_tuples(self) -> int:
+        """Total number of alternatives ``n`` across all entities."""
+        return len(self._by_tid)
+
+    def __len__(self) -> int:
+        return self.num_tuples
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        """Iterate over all tuples in insertion order."""
+        for xt in self._xtuples:
+            yield from xt.alternatives
+
+    def __contains__(self, tid: str) -> bool:
+        return tid in self._by_tid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<ProbabilisticDatabase{label}: {self.num_xtuples} x-tuples, "
+            f"{self.num_tuples} tuples>"
+        )
+
+    def xtuple(self, xid: str) -> XTuple:
+        """Return the x-tuple with identifier ``xid``."""
+        try:
+            return self._by_xid[xid]
+        except KeyError:
+            raise InvalidDatabaseError(f"unknown x-tuple id {xid!r}") from None
+
+    def tuple(self, tid: str) -> ProbabilisticTuple:
+        """Return the tuple with identifier ``tid``."""
+        try:
+            return self._by_tid[tid]
+        except KeyError:
+            raise InvalidDatabaseError(f"unknown tuple id {tid!r}") from None
+
+    def has_xtuple(self, xid: str) -> bool:
+        """Whether an x-tuple with identifier ``xid`` exists."""
+        return xid in self._by_xid
+
+    def insertion_index(self, tid: str) -> int:
+        """Position of ``tid`` in the database's insertion order.
+
+        Used as the deterministic tie-breaker of the ranking function.
+        """
+        return self._insertion_index[tid]
+
+    @property
+    def is_complete(self) -> bool:
+        """``True`` when every x-tuple always produces a real tuple."""
+        return all(xt.is_complete for xt in self._xtuples)
+
+    def num_possible_worlds(self) -> int:
+        """Exact count of possible worlds (null choices included)."""
+        count = 1
+        for xt in self._xtuples:
+            count *= len(xt.alternatives) + (0 if xt.is_complete else 1)
+        return count
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def with_xtuple_replaced(self, xid: str, replacement: XTuple) -> "ProbabilisticDatabase":
+        """Return a copy of the database with one x-tuple swapped out.
+
+        This is the primitive the cleaning executor uses: a successful
+        ``pclean(τ_l)`` replaces ``τ_l`` by a certain x-tuple (paper
+        Definition 5 -- compare Tables I and II, where cleaning ``S3``
+        turns ``udb1`` into ``udb2``).
+        """
+        if xid not in self._by_xid:
+            raise InvalidDatabaseError(f"unknown x-tuple id {xid!r}")
+        if replacement.xid != xid:
+            raise InvalidDatabaseError(
+                f"replacement x-tuple has id {replacement.xid!r}, expected {xid!r}"
+            )
+        new_xtuples = tuple(
+            replacement if xt.xid == xid else xt for xt in self._xtuples
+        )
+        return ProbabilisticDatabase(new_xtuples, name=self.name)
+
+    def ranked(self, ranking: Optional[RankingFunction] = None) -> "RankedDatabase":
+        """Pre-sort the database under ``ranking`` (default: by value)."""
+        return RankedDatabase(self, ranking or by_value())
+
+
+class RankedDatabase:
+    """A database pre-sorted in descending rank order.
+
+    All the paper's algorithms assume this view.  Besides the sorted
+    tuple sequence, it exposes flat parallel arrays used by the dynamic
+    programs:
+
+    ``probabilities[i]``
+        existential probability ``e_i`` of the i-th ranked tuple;
+    ``xtuple_indices[i]``
+        dense integer index of that tuple's x-tuple (``0 .. m-1``);
+    ``completion[l]``
+        ``s_l`` -- the probability that x-tuple ``l`` produces a real
+        tuple;
+    ``scores[i]``
+        the ranking score (descending, ties broken by insertion index).
+    """
+
+    def __init__(self, db: ProbabilisticDatabase, ranking: RankingFunction) -> None:
+        self.db = db
+        self.ranking = ranking
+        decorated = [
+            (-ranking(t), db.insertion_index(t.tid), t) for t in db
+        ]
+        decorated.sort(key=lambda item: (item[0], item[1]))
+        self.order: List[ProbabilisticTuple] = [item[2] for item in decorated]
+        self.scores: List[float] = [-item[0] for item in decorated]
+        self.position: Dict[str, int] = {
+            t.tid: i for i, t in enumerate(self.order)
+        }
+        xid_to_index: Dict[str, int] = {
+            xt.xid: l for l, xt in enumerate(db.xtuples)
+        }
+        self.xtuple_ids: List[str] = [xt.xid for xt in db.xtuples]
+        self.xtuple_indices: List[int] = [
+            xid_to_index[t.xtuple_id] for t in self.order
+        ]
+        self.probabilities: List[float] = [t.probability for t in self.order]
+        self.completion: List[float] = [
+            xt.completion_probability for xt in db.xtuples
+        ]
+
+    @property
+    def num_tuples(self) -> int:
+        return len(self.order)
+
+    @property
+    def num_xtuples(self) -> int:
+        return len(self.xtuple_ids)
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def rank_of(self, tid: str) -> int:
+        """Zero-based rank position of tuple ``tid`` (0 = highest)."""
+        return self.position[tid]
+
+    def top(self, count: int) -> Sequence[ProbabilisticTuple]:
+        """The ``count`` highest-ranked tuples of the whole database."""
+        return self.order[:count]
+
+    def min_real_tuples_probability(self, k: int) -> float:
+        """Probability that a possible world holds at least ``k`` real tuples.
+
+        Theorem 1 (the TP algorithm) assumes every possible world yields
+        a full-length top-k result.  This check computes
+        ``Pr[#real tuples >= k]`` exactly as a Poisson-binomial over the
+        x-tuples' completion probabilities, so callers can verify the
+        assumption cheaply (``O(m·k)``).
+        """
+        if k <= 0:
+            return 1.0
+        m = self.num_xtuples
+        if k > m:
+            return 0.0
+        # dp[j] = Pr[j incomplete entities produce no tuple], capped at
+        # the interesting range: we need Pr[#real >= k], i.e. the chance
+        # that at most m-k entities are null.
+        max_nulls = m - k
+        dp = [1.0] + [0.0] * max_nulls
+        for s in self.completion:
+            q = 1.0 - s
+            if q <= 0.0:
+                continue
+            for j in range(max_nulls, 0, -1):
+                dp[j] = dp[j] * (1.0 - q) + dp[j - 1] * q
+            dp[0] *= 1.0 - q
+        return math.fsum(dp)

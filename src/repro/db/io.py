@@ -1,0 +1,119 @@
+"""Serialization of probabilistic databases (JSON and CSV).
+
+The JSON format keeps the x-tuple grouping explicit; the CSV format is
+one row per tuple with the x-tuple id as a column, which matches how
+Table I of the paper is laid out (sensor id, tuple id, value,
+probability).  Both formats round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.db.database import ProbabilisticDatabase
+from repro.db.tuples import ProbabilisticTuple, XTuple
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def database_to_dict(db: ProbabilisticDatabase) -> Dict[str, Any]:
+    """Encode a database as a plain JSON-serializable dictionary."""
+    return {
+        "format": "repro.probabilistic_database",
+        "version": _FORMAT_VERSION,
+        "name": db.name,
+        "xtuples": [
+            {
+                "xid": xt.xid,
+                "alternatives": [
+                    {
+                        "tid": t.tid,
+                        "value": t.value,
+                        "probability": t.probability,
+                    }
+                    for t in xt.alternatives
+                ],
+            }
+            for xt in db.xtuples
+        ],
+    }
+
+
+def database_from_dict(payload: Dict[str, Any]) -> ProbabilisticDatabase:
+    """Decode a database from :func:`database_to_dict` output."""
+    if payload.get("format") != "repro.probabilistic_database":
+        raise ValueError("payload is not a repro probabilistic database")
+    xtuples: List[XTuple] = []
+    for xt in payload["xtuples"]:
+        xid = xt["xid"]
+        members = tuple(
+            ProbabilisticTuple(
+                tid=alt["tid"],
+                xtuple_id=xid,
+                value=alt["value"],
+                probability=alt["probability"],
+            )
+            for alt in xt["alternatives"]
+        )
+        xtuples.append(XTuple(xid=xid, alternatives=members))
+    return ProbabilisticDatabase(xtuples, name=payload.get("name", ""))
+
+
+def save_json(db: ProbabilisticDatabase, path: PathLike) -> None:
+    """Write ``db`` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(database_to_dict(db), f, indent=2, sort_keys=False)
+
+
+def load_json(path: PathLike) -> ProbabilisticDatabase:
+    """Read a database previously written by :func:`save_json`."""
+    with open(path, "r", encoding="utf-8") as f:
+        return database_from_dict(json.load(f))
+
+
+def save_csv(db: ProbabilisticDatabase, path: PathLike) -> None:
+    """Write ``db`` to ``path`` as CSV (one row per tuple).
+
+    Non-scalar values (e.g. the MOV ``{date, rating}`` mappings) are
+    JSON-encoded inside the ``value`` column.
+    """
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["xtuple_id", "tid", "value", "probability"])
+        for xt in db.xtuples:
+            for t in xt.alternatives:
+                writer.writerow(
+                    [xt.xid, t.tid, json.dumps(t.value), repr(t.probability)]
+                )
+
+
+def load_csv(path: PathLike, name: str = "") -> ProbabilisticDatabase:
+    """Read a database previously written by :func:`save_csv`.
+
+    Rows sharing an ``xtuple_id`` are grouped into one x-tuple in file
+    order; x-tuples appear in order of their first row.
+    """
+    grouped: Dict[str, List[ProbabilisticTuple]] = {}
+    order: List[str] = []
+    with open(path, "r", encoding="utf-8", newline="") as f:
+        reader = csv.DictReader(f)
+        for row in reader:
+            xid = row["xtuple_id"]
+            if xid not in grouped:
+                grouped[xid] = []
+                order.append(xid)
+            grouped[xid].append(
+                ProbabilisticTuple(
+                    tid=row["tid"],
+                    xtuple_id=xid,
+                    value=json.loads(row["value"]),
+                    probability=float(row["probability"]),
+                )
+            )
+    xtuples = [XTuple(xid=xid, alternatives=tuple(grouped[xid])) for xid in order]
+    return ProbabilisticDatabase(xtuples, name=name)

@@ -1,0 +1,130 @@
+"""Possible-world semantics: enumeration, probabilities, sampling.
+
+A possible world picks exactly one outcome per x-tuple: one of its real
+alternatives, or -- when the alternatives' probabilities sum to less
+than one -- the implicit null outcome.  The probability of a world is
+the product of its choices' probabilities; worlds partition the
+probability space (they sum to one).
+
+Enumeration is exponential in the number of x-tuples and is meant for
+small databases only: it is the ground truth the efficient algorithms
+(PWR, TP, PSR) are validated against, and the engine behind the naive
+``PW`` quality algorithm of Section IV.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.db.database import ProbabilisticDatabase
+from repro.db.tuples import ProbabilisticTuple, XTuple
+
+#: Null outcomes below this probability are treated as impossible, which
+#: keeps float round-off from spawning spurious near-zero worlds.
+NULL_EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class PossibleWorld:
+    """One fully determined state of the database.
+
+    Attributes
+    ----------
+    choices:
+        One entry per x-tuple, in database order: the chosen
+        :class:`ProbabilisticTuple`, or ``None`` for the null outcome.
+    probability:
+        The world's probability (product of the choices' probabilities).
+    """
+
+    choices: Tuple[Optional[ProbabilisticTuple], ...]
+    probability: float
+
+    @property
+    def real_tuples(self) -> Tuple[ProbabilisticTuple, ...]:
+        """The non-null tuples present in this world."""
+        return tuple(t for t in self.choices if t is not None)
+
+    def __contains__(self, tid: str) -> bool:
+        return any(t is not None and t.tid == tid for t in self.choices)
+
+
+def _outcomes(xt: XTuple) -> List[Tuple[Optional[ProbabilisticTuple], float]]:
+    """All outcomes of one x-tuple: its alternatives plus maybe null."""
+    outcomes: List[Tuple[Optional[ProbabilisticTuple], float]] = [
+        (t, t.probability) for t in xt.alternatives
+    ]
+    null_p = xt.null_probability
+    if null_p > NULL_EPSILON:
+        outcomes.append((None, null_p))
+    return outcomes
+
+
+def iter_worlds(db: ProbabilisticDatabase) -> Iterator[PossibleWorld]:
+    """Yield every possible world of ``db`` with its probability.
+
+    The worlds' probabilities sum to one.  Exponential in the number of
+    x-tuples; intended for test oracles and the PW algorithm on small
+    inputs.
+    """
+    per_xtuple = [_outcomes(xt) for xt in db.xtuples]
+    for combo in itertools.product(*per_xtuple):
+        probability = 1.0
+        for _, p in combo:
+            probability *= p
+        yield PossibleWorld(
+            choices=tuple(choice for choice, _ in combo),
+            probability=probability,
+        )
+
+
+def world_probability(
+    db: ProbabilisticDatabase, selection: Sequence[Optional[str]]
+) -> float:
+    """Probability of the world selecting the given tuple ids.
+
+    Parameters
+    ----------
+    selection:
+        One entry per x-tuple in database order: a tuple id, or ``None``
+        for the null outcome.
+    """
+    if len(selection) != db.num_xtuples:
+        raise ValueError(
+            f"selection has {len(selection)} entries for {db.num_xtuples} x-tuples"
+        )
+    probability = 1.0
+    for xt, chosen in zip(db.xtuples, selection):
+        if chosen is None:
+            probability *= xt.null_probability
+        else:
+            member = next((t for t in xt.alternatives if t.tid == chosen), None)
+            if member is None:
+                raise ValueError(
+                    f"x-tuple {xt.xid!r} has no alternative {chosen!r}"
+                )
+            probability *= member.probability
+    return probability
+
+
+def sample_world(
+    db: ProbabilisticDatabase, rng: random.Random
+) -> PossibleWorld:
+    """Draw one possible world at random (used by Monte-Carlo quality)."""
+    choices: List[Optional[ProbabilisticTuple]] = []
+    probability = 1.0
+    for xt in db.xtuples:
+        u = rng.random()
+        acc = 0.0
+        chosen: Optional[ProbabilisticTuple] = None
+        for t in xt.alternatives:
+            acc += t.probability
+            if u < acc:
+                chosen = t
+                break
+        choices.append(chosen)
+        probability *= chosen.probability if chosen is not None else xt.null_probability
+    return PossibleWorld(choices=tuple(choices), probability=probability)

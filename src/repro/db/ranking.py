@@ -1,0 +1,87 @@
+"""Ranking functions and tie-breaking for deterministic top-k.
+
+The paper assumes a ranking function ``f`` that assigns a *unique* rank
+to every tuple (Section III-B): ties are broken deterministically so
+that ``t1 =f t2`` iff the tuples are identical.  The paper's synthetic
+workload ranks a tuple higher when its value is larger, breaking ties in
+favour of the tuple with the smaller index (Section VI); the MOV
+workload ranks by ``normalized(date) + normalized(rating)``.
+
+A :class:`RankingFunction` wraps a score callable; tuples are ranked in
+*descending* score order, and equal scores are broken by the order the
+tuples were inserted into the database (smaller insertion index ranks
+higher), matching the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.db.tuples import ProbabilisticTuple
+
+ScoreFunction = Callable[[ProbabilisticTuple], float]
+
+
+class RankingFunction:
+    """Assigns every tuple a score; higher scores rank higher.
+
+    Parameters
+    ----------
+    score:
+        Callable mapping a :class:`ProbabilisticTuple` to a float score.
+        Defaults to the tuple's ``value`` attribute (which therefore must
+        be numeric).
+    name:
+        Human-readable name used in reprs and benchmark tables.
+    """
+
+    def __init__(self, score: Optional[ScoreFunction] = None, name: str = "") -> None:
+        self._score = score if score is not None else _value_score
+        self.name = name or getattr(self._score, "__name__", "score")
+
+    def __call__(self, t: ProbabilisticTuple) -> float:
+        return self._score(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RankingFunction({self.name})"
+
+
+def _value_score(t: ProbabilisticTuple) -> float:
+    """Default score: the tuple's (numeric) value itself."""
+    return float(t.value)
+
+
+def by_value() -> RankingFunction:
+    """Rank tuples by their numeric ``value``, larger is higher.
+
+    This is the ranking the paper uses on the sensor example (Table I)
+    and on the synthetic workload.
+    """
+    return RankingFunction(_value_score, name="by_value")
+
+
+def by_key(key: str) -> RankingFunction:
+    """Rank tuples by one entry of a mapping-valued ``value``."""
+
+    def score(t: ProbabilisticTuple) -> float:
+        return float(t.value[key])
+
+    return RankingFunction(score, name=f"by_key({key})")
+
+
+def by_sum_of_keys(*keys: str) -> RankingFunction:
+    """Rank tuples by the sum of several entries of a mapping value.
+
+    The MOV workload uses ``by_sum_of_keys("date", "rating")`` on
+    normalized attributes (Section VI).
+    """
+
+    def score(t: ProbabilisticTuple) -> float:
+        return float(sum(t.value[k] for k in keys))
+
+    return RankingFunction(score, name=f"by_sum_of_keys({','.join(keys)})")
+
+
+def custom(score: ScoreFunction, name: str = "custom") -> RankingFunction:
+    """Wrap an arbitrary score callable into a :class:`RankingFunction`."""
+    return RankingFunction(score, name=name)

@@ -1,0 +1,208 @@
+"""Tuple-level building blocks of the x-tuple probabilistic data model.
+
+The paper (Section III-A) models a probabilistic database ``D`` as a set
+of *x-tuples*.  Each x-tuple groups mutually exclusive alternatives
+(*tuples*); tuples from different x-tuples are independent.  A tuple
+``t_i`` is the quadruple ``(ID_i, x_i, v_i, e_i)``: a unique key, the
+x-tuple it belongs to, its attribute value(s), and its existential
+probability.
+
+This module defines the two value classes used everywhere else:
+
+* :class:`ProbabilisticTuple` -- one alternative reading of an entity.
+* :class:`XTuple` -- one entity, i.e. a set of mutually exclusive
+  alternatives whose probabilities sum to at most one.  When the sum is
+  strictly below one, the remainder is the probability that the entity
+  produces *no* tuple at all (the paper's implicit "null" tuple, which
+  is ranked below every real tuple and never materialized here).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence, Tuple
+
+from repro.exceptions import InvalidDatabaseError
+
+#: Tolerance used when checking that probabilities inside an x-tuple sum
+#: to at most one.  Generated data routinely carries float round-off.
+PROBABILITY_SUM_TOLERANCE = 1e-9
+
+#: An x-tuple whose alternatives sum to at least this much is treated as
+#: *complete*: it always produces a real tuple in every possible world.
+COMPLETENESS_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True)
+class ProbabilisticTuple:
+    """One alternative reading of an uncertain entity.
+
+    Attributes
+    ----------
+    tid:
+        The tuple key ``ID_i``.  Must be unique across the database.
+    xtuple_id:
+        Identifier of the x-tuple (entity) this tuple belongs to.
+    value:
+        The attribute value(s) ``v_i`` consumed by the ranking function.
+        For the paper's sensor example this is a single temperature; for
+        the MOV workload it is a ``(date, rating)`` mapping.
+    probability:
+        The existential probability ``e_i`` -- the chance that this
+        alternative is the entity's real value.  Must lie in ``(0, 1]``.
+    """
+
+    tid: str
+    xtuple_id: str
+    value: Any
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tid, str) or not self.tid:
+            raise InvalidDatabaseError(
+                f"tuple id must be a non-empty string, got {self.tid!r}"
+            )
+        if not isinstance(self.xtuple_id, str) or not self.xtuple_id:
+            raise InvalidDatabaseError(
+                f"x-tuple id must be a non-empty string, got {self.xtuple_id!r}"
+            )
+        p = self.probability
+        if not isinstance(p, (int, float)) or isinstance(p, bool):
+            raise InvalidDatabaseError(
+                f"existential probability must be a number, got {p!r}"
+            )
+        if math.isnan(p) or p <= 0.0 or p > 1.0:
+            raise InvalidDatabaseError(
+                f"existential probability of tuple {self.tid!r} must lie in "
+                f"(0, 1], got {p!r}"
+            )
+
+
+@dataclass(frozen=True)
+class XTuple:
+    """An uncertain entity: mutually exclusive alternatives.
+
+    Attributes
+    ----------
+    xid:
+        The x-tuple identifier (e.g. a sensor id such as ``"S1"``).
+    alternatives:
+        The member tuples, each carrying its existential probability.
+        Their probabilities must sum to at most one (within
+        :data:`PROBABILITY_SUM_TOLERANCE`).
+    """
+
+    xid: str
+    alternatives: Tuple[ProbabilisticTuple, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.xid, str) or not self.xid:
+            raise InvalidDatabaseError(
+                f"x-tuple id must be a non-empty string, got {self.xid!r}"
+            )
+        alts = tuple(self.alternatives)
+        object.__setattr__(self, "alternatives", alts)
+        if not alts:
+            raise InvalidDatabaseError(
+                f"x-tuple {self.xid!r} must contain at least one alternative"
+            )
+        seen = set()
+        total = 0.0
+        for t in alts:
+            if not isinstance(t, ProbabilisticTuple):
+                raise InvalidDatabaseError(
+                    f"x-tuple {self.xid!r} contains a non-tuple member: {t!r}"
+                )
+            if t.xtuple_id != self.xid:
+                raise InvalidDatabaseError(
+                    f"tuple {t.tid!r} declares x-tuple {t.xtuple_id!r} but was "
+                    f"placed in x-tuple {self.xid!r}"
+                )
+            if t.tid in seen:
+                raise InvalidDatabaseError(
+                    f"duplicate tuple id {t.tid!r} inside x-tuple {self.xid!r}"
+                )
+            seen.add(t.tid)
+            total += t.probability
+        if total > 1.0 + PROBABILITY_SUM_TOLERANCE:
+            raise InvalidDatabaseError(
+                f"existential probabilities in x-tuple {self.xid!r} sum to "
+                f"{total!r} > 1"
+            )
+
+    def __iter__(self) -> Iterator[ProbabilisticTuple]:
+        return iter(self.alternatives)
+
+    def __len__(self) -> int:
+        return len(self.alternatives)
+
+    @property
+    def completion_probability(self) -> float:
+        """Probability ``s_l`` that the entity produces a real tuple.
+
+        Equals the sum of the alternatives' existential probabilities,
+        clamped to one to absorb float round-off.
+        """
+        return min(1.0, math.fsum(t.probability for t in self.alternatives))
+
+    @property
+    def null_probability(self) -> float:
+        """Probability that the entity produces *no* tuple (``1 - s_l``)."""
+        return max(0.0, 1.0 - self.completion_probability)
+
+    @property
+    def is_complete(self) -> bool:
+        """``True`` when the entity always produces a real tuple."""
+        return self.null_probability <= COMPLETENESS_TOLERANCE
+
+    @property
+    def is_certain(self) -> bool:
+        """``True`` when the entity has a single alternative with
+        probability one -- i.e. it carries no uncertainty at all.  This
+        is the state a successful cleaning operation leaves behind."""
+        return len(self.alternatives) == 1 and self.is_complete
+
+    def collapsed_to(self, tid: str) -> "XTuple":
+        """Return the x-tuple a *successful* cleaning produces.
+
+        Per Definition 5, a successful ``pclean`` replaces the x-tuple by
+        a single certain tuple ``{ID_i, l, v_i, 1}`` keeping the chosen
+        alternative's identifier and value.
+
+        Parameters
+        ----------
+        tid:
+            Identifier of the alternative revealed as the real value.
+        """
+        for t in self.alternatives:
+            if t.tid == tid:
+                certain = ProbabilisticTuple(
+                    tid=t.tid,
+                    xtuple_id=self.xid,
+                    value=t.value,
+                    probability=1.0,
+                )
+                return XTuple(xid=self.xid, alternatives=(certain,))
+        raise InvalidDatabaseError(
+            f"x-tuple {self.xid!r} has no alternative with id {tid!r}"
+        )
+
+
+def make_xtuple(
+    xid: str,
+    alternatives: Sequence[Tuple[str, Any, float]],
+) -> XTuple:
+    """Convenience constructor from ``(tid, value, probability)`` triples.
+
+    Example
+    -------
+    >>> s1 = make_xtuple("S1", [("t0", 21.0, 0.6), ("t1", 32.0, 0.4)])
+    >>> s1.completion_probability
+    1.0
+    """
+    members = tuple(
+        ProbabilisticTuple(tid=tid, xtuple_id=xid, value=value, probability=prob)
+        for tid, value, prob in alternatives
+    )
+    return XTuple(xid=xid, alternatives=members)

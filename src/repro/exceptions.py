@@ -1,0 +1,37 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidDatabaseError(ReproError):
+    """The probabilistic database violates the x-tuple model invariants.
+
+    Raised when tuple identifiers collide, an existential probability is
+    outside ``(0, 1]``, or the probabilities inside one x-tuple sum to
+    more than one.
+    """
+
+
+class InvalidQueryError(ReproError):
+    """A query parameter is malformed (e.g. ``k < 1`` or a threshold
+    outside ``[0, 1]``)."""
+
+
+class InvalidCleaningProblemError(ReproError):
+    """A cleaning problem is malformed (negative budget, non-positive
+    cost, sc-probability outside ``[0, 1]``, or unknown x-tuple ids)."""
+
+
+class InfeasibleTargetError(ReproError):
+    """An inverse-cleaning target cannot be reached with any plan.
+
+    Raised by :func:`repro.cleaning.inverse.min_cost_plan` when the
+    requested expected-quality target exceeds what cleaning every
+    x-tuple infinitely often could deliver.
+    """

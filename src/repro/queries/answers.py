@@ -1,0 +1,106 @@
+"""Answer types for the probabilistic top-k query semantics.
+
+Each semantics aggregates the pw-result distribution differently
+(Section III-B), but all three are derivable from rank-probability
+information, which is what makes computation sharing (Section IV-C)
+possible.  The answer objects below keep both the selected tuples and
+the probabilities that justified the selection, so downstream code
+(e.g. reporting, cleaning diagnostics) never needs to recompute them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class RankWinner:
+    """U-kRanks component: the most probable tuple at one rank."""
+
+    rank: int
+    tid: str
+    probability: float
+
+
+@dataclass(frozen=True)
+class UkRanksAnswer:
+    """Answer of a U-kRanks query: one winner per rank ``1..k``.
+
+    A rank with no candidate (every tuple has zero probability at that
+    rank, possible when worlds can run short of real tuples) is omitted.
+    The same tuple may win several ranks -- a known quirk of the
+    semantics (Soliman et al., ICDE 2007).
+    """
+
+    k: int
+    winners: Tuple[RankWinner, ...]
+
+    def winner_at(self, rank: int) -> RankWinner:
+        """The winner recorded for one rank (KeyError when vacant)."""
+        for w in self.winners:
+            if w.rank == rank:
+                return w
+        raise KeyError(f"no winner recorded for rank {rank}")
+
+    @property
+    def tids(self) -> List[str]:
+        """Winning tuple ids by rank (duplicates possible)."""
+        return [w.tid for w in self.winners]
+
+
+@dataclass(frozen=True)
+class PTkAnswer:
+    """Answer of a PT-k query: tuples with top-k probability >= threshold.
+
+    ``members`` are ordered by rank (highest first), each with its top-k
+    probability.
+    """
+
+    k: int
+    threshold: float
+    members: Tuple[Tuple[str, float], ...]
+
+    @property
+    def tids(self) -> List[str]:
+        return [tid for tid, _ in self.members]
+
+    def __contains__(self, tid: str) -> bool:
+        return any(member == tid for member, _ in self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class GlobalTopkAnswer:
+    """Answer of a Global-topk query: the k tuples with the highest
+    top-k probabilities, ties broken by the ranking order (higher-ranked
+    tuple wins, Zhang & Chomicki's convention)."""
+
+    k: int
+    members: Tuple[Tuple[str, float], ...]
+
+    @property
+    def tids(self) -> List[str]:
+        return [tid for tid, _ in self.members]
+
+    def __contains__(self, tid: str) -> bool:
+        return any(member == tid for member, _ in self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class UTopkAnswer:
+    """Answer of a U-Topk query: the most probable whole pw-result.
+
+    Provided as an extension (the paper defers U-Topk to future work);
+    computed from the PWR machinery, which enumerates pw-results
+    without expanding possible worlds.
+    """
+
+    k: int
+    result: Tuple[str, ...]
+    probability: float

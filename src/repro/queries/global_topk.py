@@ -1,0 +1,36 @@
+"""Global-topk: the k tuples with the highest top-k probabilities
+(Zhang & Chomicki, ICDE Workshops 2008).
+
+Tuples are ordered by top-k probability, descending; equal
+probabilities are broken by the ranking order (the higher-ranked tuple
+wins), which keeps the answer deterministic and matches the original
+semantics' tie-breaking convention.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import RankedDatabase
+from repro.queries.answers import GlobalTopkAnswer
+from repro.queries.psr import RankProbabilities, compute_rank_probabilities
+
+
+def answer_from_rank_probabilities(
+    rank_probs: RankProbabilities,
+) -> GlobalTopkAnswer:
+    """Aggregate a Global-topk answer out of precomputed rank probabilities."""
+    ranked = rank_probs.ranked
+    k = rank_probs.k
+    candidates = [
+        (p, i) for i, p in enumerate(rank_probs.topk_prefix) if p > 0.0
+    ]
+    # Sort by probability descending, then by rank position ascending.
+    candidates.sort(key=lambda item: (-item[0], item[1]))
+    members = tuple(
+        (ranked.order[i].tid, p) for p, i in candidates[:k]
+    )
+    return GlobalTopkAnswer(k=k, members=members)
+
+
+def evaluate(ranked: RankedDatabase, k: int) -> GlobalTopkAnswer:
+    """Answer a Global-topk query from scratch (runs PSR internally)."""
+    return answer_from_rank_probabilities(compute_rank_probabilities(ranked, k))

@@ -1,0 +1,251 @@
+"""PSR: rank-h and top-k probabilities for every tuple in ``O(kn)``.
+
+The paper evaluates U-kRanks, PT-k and Global-topk -- and the TP quality
+algorithm -- from *rank probability information*: for each tuple ``t_i``
+the probability ``ρ_i(h)`` that it occupies rank ``h`` in a pw-result,
+and the top-k probability ``p_i = Σ_{h<=k} ρ_i(h)``.  The PSR algorithm
+(Bernecker et al., TKDE 2010; adopted in Section IV-B) computes all of
+them in one scan of the rank-sorted tuples.
+
+The recurrence
+--------------
+Scan tuples in descending rank.  When tuple ``t_i`` of x-tuple ``τ_l``
+is reached, each *other* x-tuple ``τ_j`` contributes a tuple ranked
+above ``t_i`` independently with probability ``B_j = Σ_{t∈τ_j, t>t_i} e_t``
+(mutual exclusion collapses each x-tuple to at most one contribution).
+Then
+
+    ρ_i(h) = e_i · Pr[exactly h-1 of the B_j fire],   j ≠ l,
+
+a Poisson-binomial evaluated lazily: we maintain the distribution over
+*all* x-tuples seen so far (capped at ``k`` -- only the first ``k``
+entries are ever needed, and they stay exact under capping) and divide
+out the current x-tuple's own factor.
+
+Numerical notes
+---------------
+* Removing a factor ``q`` by the forward deconvolution amplifies error
+  by ``q/(1-q)`` per entry, so for ``q > 0.5`` we rebuild the vector
+  from scratch over the active factors instead.
+* A factor that saturates (``q >= 1-ε``) guarantees one higher-ranked
+  tuple; we drop it from the vector and count it in an integer
+  ``shift``.  Once ``k`` factors have saturated, every remaining tuple
+  has zero top-k probability -- exactly Lemma 2's early stop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.db.database import RankedDatabase
+from repro.db.tuples import ProbabilisticTuple
+from repro.queries.deterministic import require_valid_k
+
+#: Factors within this distance of 1 are treated as saturated.
+SATURATION_EPSILON = 1e-12
+
+#: Threshold above which factor removal falls back to a from-scratch
+#: rebuild (forward deconvolution is stable only for q <= 1/2).
+DECONVOLUTION_LIMIT = 0.5
+
+
+def _add_factor(dp: List[float], q: float) -> None:
+    """Multiply the capped Poisson-binomial vector by a factor ``q``.
+
+    In place; entries ``0..k-1`` remain exact under capping because the
+    update only looks at equal-or-lower indices.
+    """
+    one_minus = 1.0 - q
+    for s in range(len(dp) - 1, 0, -1):
+        dp[s] = dp[s] * one_minus + dp[s - 1] * q
+    dp[0] *= one_minus
+
+
+def _remove_factor_forward(dp: List[float], q: float) -> List[float]:
+    """Divide a factor ``q`` out of the capped vector (stable for q<=1/2)."""
+    one_minus = 1.0 - q
+    out = [0.0] * len(dp)
+    prev = dp[0] / one_minus
+    out[0] = prev
+    for s in range(1, len(dp)):
+        prev = (dp[s] - q * prev) / one_minus
+        if prev < 0.0:  # round-off guard; true probabilities are >= 0
+            prev = 0.0
+        out[s] = prev
+    return out
+
+
+def _rebuild_without(
+    active: Dict[int, float], skip: int, k: int
+) -> List[float]:
+    """Poisson-binomial over all active factors except ``skip``."""
+    dp = [0.0] * k
+    dp[0] = 1.0
+    for l, q in active.items():
+        if l != skip:
+            _add_factor(dp, q)
+    return dp
+
+
+@dataclass
+class RankProbabilities:
+    """Rank-probability information for one (database, ranking, k).
+
+    ``rho_prefix[i][h-1]`` is ``ρ(h)`` of the ``i``-th ranked tuple, for
+    ``i < cutoff``; tuples at or beyond ``cutoff`` are exactly zero
+    everywhere (Lemma 2 fired).  ``topk_prefix[i]`` is the top-k
+    probability of the ``i``-th ranked tuple.
+    """
+
+    k: int
+    ranked: RankedDatabase
+    cutoff: int
+    rho_prefix: List[List[float]]
+    topk_prefix: List[float]
+
+    def rank_probability(self, tid: str, h: int) -> float:
+        """``ρ_i(h)``: probability tuple ``tid`` takes rank ``h`` (1-based)."""
+        if not 1 <= h <= self.k:
+            raise ValueError(f"rank h must lie in 1..{self.k}, got {h}")
+        i = self.ranked.rank_of(tid)
+        if i >= self.cutoff:
+            return 0.0
+        return self.rho_prefix[i][h - 1]
+
+    def rho(self, tid: str) -> List[float]:
+        """The full vector ``[ρ(1), ..., ρ(k)]`` for tuple ``tid``."""
+        i = self.ranked.rank_of(tid)
+        if i >= self.cutoff:
+            return [0.0] * self.k
+        return list(self.rho_prefix[i])
+
+    def topk_probability(self, tid: str) -> float:
+        """``p_i``: probability tuple ``tid`` appears in a pw-result."""
+        i = self.ranked.rank_of(tid)
+        if i >= self.cutoff:
+            return 0.0
+        return self.topk_prefix[i]
+
+    def topk_probabilities(self) -> List[float]:
+        """Top-k probabilities for all tuples, in ranked order."""
+        full = list(self.topk_prefix)
+        full.extend([0.0] * (self.ranked.num_tuples - self.cutoff))
+        return full
+
+    def nonzero_tuples(
+        self, tolerance: float = 0.0
+    ) -> Iterator[Tuple[ProbabilisticTuple, float]]:
+        """Yield ``(tuple, p_i)`` for tuples with ``p_i > tolerance``,
+        highest rank first."""
+        for i in range(self.cutoff):
+            p = self.topk_prefix[i]
+            if p > tolerance:
+                yield self.ranked.order[i], p
+
+    def topk_probability_by_xtuple(self) -> List[float]:
+        """``Σ_{t_i∈τ_l} p_i`` per x-tuple (database order).
+
+        These per-entity masses drive the RandP cleaning heuristic and,
+        combined with the TP weights, the ``g(l, D)`` values of
+        Theorem 2.
+        """
+        sums = [0.0] * self.ranked.num_xtuples
+        for i in range(self.cutoff):
+            sums[self.ranked.xtuple_indices[i]] += self.topk_prefix[i]
+        return sums
+
+
+def compute_rank_probabilities(
+    ranked: RankedDatabase, k: int
+) -> RankProbabilities:
+    """Run PSR over a pre-sorted database.
+
+    Returns a :class:`RankProbabilities` carrying ``ρ_i(h)`` and ``p_i``
+    for every tuple.  Runs in ``O(kn)`` plus rare ``O(A·k)`` rebuilds
+    (``A`` = number of x-tuples partially scanned at that point), and
+    stops early as soon as ``k`` x-tuples are guaranteed to contribute a
+    higher-ranked tuple (Lemma 2).
+    """
+    require_valid_k(k)
+    n = ranked.num_tuples
+    probabilities = ranked.probabilities
+    xtuple_indices = ranked.xtuple_indices
+
+    seen_mass: Dict[int, float] = {}
+    active: Dict[int, float] = {}
+    dp: List[float] = [0.0] * k
+    dp[0] = 1.0
+    shift = 0
+
+    rho_prefix: List[List[float]] = []
+    topk_prefix: List[float] = []
+    cutoff = n
+
+    for i in range(n):
+        if shift >= k:
+            cutoff = i
+            break
+        e_i = probabilities[i]
+        l = xtuple_indices[i]
+        q = seen_mass.get(l, 0.0)
+
+        if q >= 1.0 - SATURATION_EPSILON:
+            # Siblings already exhaust the probability mass: t_i exists
+            # with (numerically) zero probability.
+            rho_prefix.append([0.0] * k)
+            topk_prefix.append(0.0)
+            continue
+
+        if q <= 0.0:
+            dp_excl = dp
+        elif q <= DECONVOLUTION_LIMIT:
+            dp_excl = _remove_factor_forward(dp, q)
+        else:
+            dp_excl = _rebuild_without(active, l, k)
+
+        # ρ_i(h) = e_i * Pr[h-1 higher tuples] ; `shift` saturated
+        # x-tuples always contribute one higher tuple each.
+        rho_i = [0.0] * k
+        p_i = 0.0
+        for h in range(1, k + 1):
+            s = h - 1 - shift
+            if 0 <= s < k:
+                value = e_i * dp_excl[s]
+                rho_i[h - 1] = value
+                p_i += value
+        rho_prefix.append(rho_i)
+        topk_prefix.append(p_i)
+
+        # Fold t_i's mass into its x-tuple's factor for later tuples.
+        # dp_excl is dead after the ρ computation, so mutating it (even
+        # when it aliases dp) is safe.
+        new_mass = min(1.0, q + e_i)
+        seen_mass[l] = new_mass
+        if new_mass >= 1.0 - SATURATION_EPSILON:
+            active.pop(l, None)
+            shift += 1
+            dp = dp_excl
+        else:
+            dp = dp_excl
+            _add_factor(dp, new_mass)
+            active[l] = new_mass
+
+    return RankProbabilities(
+        k=k,
+        ranked=ranked,
+        cutoff=cutoff,
+        rho_prefix=rho_prefix,
+        topk_prefix=topk_prefix,
+    )
+
+
+def total_topk_mass(rank_probs: RankProbabilities) -> float:
+    """``Σ_i p_i`` -- equals ``E[size of a pw-result]``.
+
+    On complete databases (every possible world holds at least ``k``
+    real tuples) this is exactly ``k``; the RandP heuristic relies on
+    that normalization.
+    """
+    return math.fsum(rank_probs.topk_prefix)

@@ -1,0 +1,47 @@
+"""PT-k: probabilistic threshold top-k (Hua et al., SIGMOD 2008).
+
+Returns every tuple whose top-k probability is at least a user
+threshold ``T``.  On Table I with ``k = 2`` and ``T = 0.4`` the answer
+is ``{t1, t2, t5}`` -- the paper's running example.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import RankedDatabase
+from repro.exceptions import InvalidQueryError
+from repro.queries.answers import PTkAnswer
+from repro.queries.psr import RankProbabilities, compute_rank_probabilities
+
+
+def require_valid_threshold(threshold: float) -> None:
+    """Validate a PT-k threshold (must lie in ``[0, 1]``)."""
+    if not isinstance(threshold, (int, float)) or isinstance(threshold, bool):
+        raise InvalidQueryError(f"threshold must be a number, got {threshold!r}")
+    if not 0.0 <= threshold <= 1.0:
+        raise InvalidQueryError(
+            f"threshold must lie in [0, 1], got {threshold!r}"
+        )
+
+
+def answer_from_rank_probabilities(
+    rank_probs: RankProbabilities, threshold: float
+) -> PTkAnswer:
+    """Aggregate a PT-k answer out of precomputed rank probabilities.
+
+    One pass over the tuples with nonzero top-k probability, exactly as
+    Section IV-C describes.
+    """
+    require_valid_threshold(threshold)
+    members = tuple(
+        (t.tid, p)
+        for t, p in rank_probs.nonzero_tuples()
+        if p >= threshold
+    )
+    return PTkAnswer(k=rank_probs.k, threshold=threshold, members=members)
+
+
+def evaluate(ranked: RankedDatabase, k: int, threshold: float) -> PTkAnswer:
+    """Answer a PT-k query from scratch (runs PSR internally)."""
+    return answer_from_rank_probabilities(
+        compute_rank_probabilities(ranked, k), threshold
+    )

@@ -1,0 +1,49 @@
+"""U-kRanks: per-rank most probable tuples (Soliman et al., ICDE 2007).
+
+For each rank ``h`` in ``1..k``, the answer is the tuple whose rank-h
+probability ``ρ_i(h)`` is the largest.  Ties are broken in favour of the
+higher-ranked tuple, keeping the answer deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import RankedDatabase
+from repro.queries.answers import RankWinner, UkRanksAnswer
+from repro.queries.psr import RankProbabilities, compute_rank_probabilities
+
+#: Rank probabilities at or below this are treated as zero when picking
+#: winners.  The dynamic program's factor removals can leave O(1e-17)
+#: noise on ranks that are provably unoccupied (e.g. rank m+1 on a
+#: complete database with m x-tuples); a "winner" at such a rank would
+#: be meaningless.
+ZERO_TOLERANCE = 1e-12
+
+
+def answer_from_rank_probabilities(
+    rank_probs: RankProbabilities,
+) -> UkRanksAnswer:
+    """Aggregate a U-kRanks answer out of precomputed rank probabilities.
+
+    This is the sharing entry point of Section IV-C: the same
+    :class:`RankProbabilities` can also feed PT-k, Global-topk and the
+    TP quality computation.
+    """
+    k = rank_probs.k
+    ranked = rank_probs.ranked
+    winners = []
+    for h in range(1, k + 1):
+        best_tid = None
+        best_p = ZERO_TOLERANCE
+        for i in range(rank_probs.cutoff):
+            p = rank_probs.rho_prefix[i][h - 1]
+            if p > best_p:
+                best_p = p
+                best_tid = ranked.order[i].tid
+        if best_tid is not None:
+            winners.append(RankWinner(rank=h, tid=best_tid, probability=best_p))
+    return UkRanksAnswer(k=k, winners=tuple(winners))
+
+
+def evaluate(ranked: RankedDatabase, k: int) -> UkRanksAnswer:
+    """Answer a U-kRanks query from scratch (runs PSR internally)."""
+    return answer_from_rank_probabilities(compute_rank_probabilities(ranked, k))

@@ -1,0 +1,36 @@
+"""U-Topk: the most probable whole pw-result (library extension).
+
+The paper restricts itself to U-kRanks / PT-k / Global-topk and leaves
+other semantics to future work (Section II).  U-Topk (Soliman et al.,
+ICDE 2007) asks for the *entire* top-k list with the highest
+probability -- exactly the mode of the pw-result distribution, which
+the PWR machinery enumerates without expanding possible worlds.  We
+expose it here because it falls out of the reproduction for free and
+rounds out the query surface.
+
+Note this inherits PWR's cost: worst case exponential in ``k``; use on
+workloads where PWR itself is feasible.
+"""
+
+from __future__ import annotations
+
+from repro.core.pwr import iter_pw_results
+from repro.db.database import RankedDatabase
+from repro.queries.answers import UTopkAnswer
+
+
+def evaluate(ranked: RankedDatabase, k: int) -> UTopkAnswer:
+    """Answer a U-Topk query by scanning the pw-result stream.
+
+    Ties on probability are broken toward the result encountered first
+    in DFS order (which is the lexicographically best by rank).
+    """
+    best_result = None
+    best_probability = -1.0
+    for result, probability in iter_pw_results(ranked, k):
+        if probability > best_probability:
+            best_probability = probability
+            best_result = result
+    if best_result is None:  # pragma: no cover - empty DBs are rejected upstream
+        raise ValueError("database produced no pw-results")
+    return UTopkAnswer(k=k, result=best_result, probability=best_probability)

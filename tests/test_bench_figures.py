@@ -1,0 +1,105 @@
+"""Structural tests of the figure experiments at a micro scale.
+
+These do not re-check the paper's shapes (the benchmark suite does);
+they verify each experiment function produces a well-formed table with
+the expected axes, fast enough to live in the unit suite.
+"""
+
+import pytest
+
+from repro.bench.figures import ALL_FIGURES
+from repro.bench.harness import BenchScale
+from repro.bench import workloads
+
+MICRO = BenchScale(
+    name="micro",
+    synth_m=30,
+    clean_m=60,
+    mov_m=60,
+    k_max=20,
+    budget_max=100,
+    pwr_max_results=5_000,
+    repeats=1,
+)
+
+#: Experiments cheap enough to execute at micro scale in CI-unit time.
+FAST_FIGURES = [
+    "fig2_3",
+    "fig4a",
+    "fig4c",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig5d",
+    "fig6a",
+    "fig6c",
+    "fig6d",
+    "fig6e",
+    "fig6f",
+    "fig6g",
+]
+
+
+class TestRegistry:
+    def test_all_paper_figures_covered(self):
+        expected = {
+            "fig2_3",
+            "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f",
+            "fig5a", "fig5b", "fig5c", "fig5d",
+            "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig6g",
+        }
+        assert set(ALL_FIGURES) == expected
+
+
+@pytest.mark.parametrize("name", FAST_FIGURES)
+def test_figure_produces_table(name):
+    table = ALL_FIGURES[name](MICRO)
+    assert table.experiment == name
+    assert table.rows, f"{name} produced no rows"
+    for row in table.rows:
+        assert len(row) == len(table.columns)
+
+
+class TestSpecificAxes:
+    def test_fig6a_budgets_respect_scale(self):
+        table = ALL_FIGURES["fig6a"](MICRO)
+        assert all(c <= MICRO.budget_max for c in table.column("C"))
+
+    def test_fig4a_k_sweep_respects_scale(self):
+        table = ALL_FIGURES["fig4a"](MICRO)
+        assert all(k <= MICRO.k_max for k in table.column("k"))
+
+    def test_fig5_sharing_ks(self):
+        table = ALL_FIGURES["fig5a"](MICRO)
+        assert table.column("k") == [15]  # 30..100 exceed micro's k_max=20
+
+
+class TestWorkloadCaching:
+    def test_synthetic_db_cached_by_parameters(self):
+        a = workloads.synthetic_db(30)
+        b = workloads.synthetic_db(30)
+        c = workloads.synthetic_db(31)
+        assert a is b
+        assert a is not c
+
+    def test_ranked_views_cached(self):
+        assert workloads.synthetic_ranked(30) is workloads.synthetic_ranked(30)
+
+    def test_quality_cached_per_k(self):
+        a = workloads.synthetic_quality(30, 3)
+        b = workloads.synthetic_quality(30, 3)
+        c = workloads.synthetic_quality(30, 4)
+        assert a is b
+        assert a is not c
+
+    def test_costs_are_stable_tuples(self):
+        costs = dict(workloads.synthetic_costs(30))
+        db = workloads.synthetic_db(30)
+        assert set(costs) == {xt.xid for xt in db.xtuples}
+        assert all(1 <= c <= 10 for c in costs.values())
+
+    def test_cleaning_problem_construction(self):
+        problem = workloads.synthetic_cleaning_problem(30, 3, 50)
+        assert problem.budget == 50
+        assert problem.k == 3
+        assert problem.num_xtuples == 30

@@ -1,0 +1,231 @@
+"""The four planners: DP optimality, Greedy quality, Rand* behaviour."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning.dp import DPCleaner, build_groups
+from repro.cleaning.greedy import GreedyCleaner
+from repro.cleaning.improvement import expected_improvement
+from repro.cleaning.model import CleaningPlan, build_cleaning_problem
+from repro.cleaning.random_cleaners import RandPCleaner, RandUCleaner
+from repro.core.tp import compute_quality_tp
+
+from conftest import cleaning_problems
+
+ALL_PLANNERS = [DPCleaner(), GreedyCleaner(), RandPCleaner(), RandUCleaner()]
+
+
+def _paper_problem(udb1, budget=4, sc=None, costs=None):
+    quality = compute_quality_tp(udb1.ranked(), 2)
+    costs = costs or {"S1": 2, "S2": 2, "S3": 1, "S4": 3}
+    sc = sc or {"S1": 0.6, "S2": 0.7, "S3": 0.8, "S4": 1.0}
+    return build_cleaning_problem(quality, costs, sc, budget)
+
+
+def _optimal_by_exhaustion(problem):
+    """Try every (X, M) combination within budget. Tiny inputs only."""
+    candidates = problem.candidate_indices()
+    best = 0.0
+    ranges = [range(problem.max_operations(l) + 1) for l in candidates]
+    for combo in itertools.product(*ranges):
+        cost = sum(
+            problem.costs[l] * m for l, m in zip(candidates, combo)
+        )
+        if cost > problem.budget:
+            continue
+        plan = CleaningPlan(
+            operations={
+                problem.xtuple_id(l): m
+                for l, m in zip(candidates, combo)
+                if m > 0
+            }
+        )
+        best = max(best, expected_improvement(problem, plan))
+    return best
+
+
+class TestDPCleaner:
+    def test_paper_example_plan_is_optimal(self, udb1):
+        problem = _paper_problem(udb1)
+        plan = DPCleaner().plan(problem)
+        assert plan.is_feasible(problem)
+        assert expected_improvement(problem, plan) == pytest.approx(
+            _optimal_by_exhaustion(problem), abs=1e-9
+        )
+
+    def test_zero_budget_yields_empty_plan(self, udb1):
+        problem = _paper_problem(udb1, budget=0)
+        assert len(DPCleaner().plan(problem)) == 0
+
+    def test_plan_never_includes_certain_xtuples(self, udb1):
+        problem = _paper_problem(udb1, budget=50)
+        plan = DPCleaner().plan(problem)
+        assert "S4" not in plan
+
+    def test_build_groups_respects_lemma5(self, udb1):
+        problem = _paper_problem(udb1)
+        indices = [l for l, _ in build_groups(problem)]
+        assert set(problem.xtuple_id(l) for l in indices) == {"S1", "S2", "S3"}
+
+    def test_pruning_keeps_value_close(self, udb1):
+        problem = _paper_problem(udb1, budget=200)
+        exact = expected_improvement(problem, DPCleaner().plan(problem))
+        pruned = expected_improvement(
+            problem, DPCleaner(prune_tolerance=1e-9).plan(problem)
+        )
+        assert pruned == pytest.approx(exact, rel=1e-6)
+
+    def test_negative_prune_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            DPCleaner(prune_tolerance=-0.1)
+
+    def test_python_and_numpy_backends_agree(self, udb1):
+        problem = _paper_problem(udb1, budget=9)
+        a = DPCleaner(use_numpy=True).plan(problem)
+        b = DPCleaner(use_numpy=False).plan(problem)
+        assert expected_improvement(problem, a) == pytest.approx(
+            expected_improvement(problem, b), abs=1e-12
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(cleaning_problems(max_xtuples=3, max_budget=10))
+    def test_dp_is_optimal_on_random_instances(self, db_problem):
+        _, problem = db_problem
+        plan = DPCleaner().plan(problem)
+        assert plan.is_feasible(problem)
+        assert expected_improvement(problem, plan) == pytest.approx(
+            _optimal_by_exhaustion(problem), abs=1e-9
+        )
+
+
+class TestGreedyCleaner:
+    def test_paper_example_close_to_optimal(self, udb1):
+        problem = _paper_problem(udb1, budget=10)
+        dp_value = expected_improvement(problem, DPCleaner().plan(problem))
+        greedy_value = expected_improvement(
+            problem, GreedyCleaner().plan(problem)
+        )
+        assert greedy_value <= dp_value + 1e-12
+        assert greedy_value >= 0.8 * dp_value
+
+    def test_greedy_takes_best_rate_first(self, udb1):
+        # S3 has the best improvement-per-cost; with budget 1 only S3 fits.
+        problem = _paper_problem(udb1, budget=1)
+        plan = GreedyCleaner().plan(problem)
+        assert plan.operations == {"S3": 1}
+
+    def test_skips_unaffordable_and_continues(self, udb1):
+        # Budget 3 with S1/S2 costing 2 and S3 costing 1: after taking a
+        # cost-2 item only cost-1 ladders still fit.
+        problem = _paper_problem(udb1, budget=3)
+        plan = GreedyCleaner().plan(problem)
+        assert plan.is_feasible(problem)
+        assert plan.total_cost(problem) == 3
+
+    @settings(max_examples=60, deadline=None)
+    @given(cleaning_problems())
+    def test_feasible_and_bounded_by_dp(self, db_problem):
+        _, problem = db_problem
+        greedy_plan = GreedyCleaner().plan(problem)
+        assert greedy_plan.is_feasible(problem)
+        dp_value = expected_improvement(problem, DPCleaner().plan(problem))
+        greedy_value = expected_improvement(problem, greedy_plan)
+        assert greedy_value <= dp_value + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(cleaning_problems())
+    def test_greedy_within_one_item_of_optimal(self, db_problem):
+        # Classical knapsack-greedy bound: adding the best single
+        # unpicked item to greedy's value reaches the optimum.
+        _, problem = db_problem
+        greedy_value = expected_improvement(
+            problem, GreedyCleaner().plan(problem)
+        )
+        dp_value = expected_improvement(problem, DPCleaner().plan(problem))
+        best_single = 0.0
+        for l in problem.candidate_indices():
+            from repro.cleaning.improvement import marginal_gain
+
+            best_single = max(
+                best_single,
+                marginal_gain(
+                    problem.sc_probabilities[l], problem.g_by_xtuple[l], 1
+                ),
+            )
+        assert greedy_value + best_single >= dp_value - 1e-9
+
+
+class TestRandomCleaners:
+    def test_seeded_plans_are_reproducible(self, udb1):
+        problem = _paper_problem(udb1, budget=20)
+        for cls in (RandUCleaner, RandPCleaner):
+            a = cls(seed=7).plan(problem)
+            b = cls(seed=7).plan(problem)
+            assert a.operations == b.operations
+
+    def test_different_seeds_vary(self, udb1):
+        problem = _paper_problem(udb1, budget=20)
+        plans = {
+            tuple(sorted(RandUCleaner(seed=s).plan(problem).operations.items()))
+            for s in range(10)
+        }
+        assert len(plans) > 1
+
+    def test_budget_exhausted(self, udb1):
+        # With a cost-1 candidate (S3) the whole budget must be spent.
+        problem = _paper_problem(udb1, budget=17)
+        for planner in (RandUCleaner(seed=3), RandPCleaner(seed=3)):
+            plan = planner.plan(problem)
+            assert plan.total_cost(problem) == 17
+
+    def test_candidates_all_includes_zero_gain_xtuples(self, udb1):
+        problem = _paper_problem(udb1, budget=30)
+        plan = RandUCleaner(seed=1, candidates="all").plan(problem)
+        # With "all", the certain x-tuple S4 may be probed.
+        assert plan.is_feasible(problem)
+
+    def test_invalid_pool_rejected(self):
+        with pytest.raises(ValueError):
+            RandUCleaner(candidates="some")
+        with pytest.raises(ValueError):
+            RandPCleaner(candidates="some")
+
+    def test_randp_prefers_high_topk_mass(self, udb1):
+        # S2 carries the largest top-2 mass (0.7); over many draws RandP
+        # must probe S2 at least as much as the low-mass S3 ladder when
+        # costs are equal.
+        quality = compute_quality_tp(udb1.ranked(), 2)
+        problem = build_cleaning_problem(
+            quality,
+            {"S1": 1, "S2": 1, "S3": 1, "S4": 1},
+            {"S1": 0.5, "S2": 0.5, "S3": 0.5, "S4": 0.5},
+            budget=400,
+        )
+        plan = RandPCleaner(seed=11).plan(problem)
+        assert plan.count("S2") > plan.count("S3")
+
+    @settings(max_examples=40, deadline=None)
+    @given(cleaning_problems(), st.integers(0, 3))
+    def test_random_plans_are_feasible(self, db_problem, seed):
+        _, problem = db_problem
+        for cls in (RandUCleaner, RandPCleaner):
+            plan = cls(seed=seed).plan(problem)
+            assert plan.is_feasible(problem)
+
+
+class TestPlannerOrdering:
+    @settings(max_examples=30, deadline=None)
+    @given(cleaning_problems(max_budget=20), st.integers(0, 2))
+    def test_dp_dominates_every_other_planner(self, db_problem, seed):
+        _, problem = db_problem
+        dp_value = expected_improvement(problem, DPCleaner().plan(problem))
+        for planner in (
+            GreedyCleaner(),
+            RandPCleaner(seed=seed),
+            RandUCleaner(seed=seed),
+        ):
+            value = expected_improvement(problem, planner.plan(problem))
+            assert value <= dp_value + 1e-9

@@ -1,0 +1,149 @@
+"""Validation and value-object behaviour of the cleaning model."""
+
+import math
+
+import pytest
+
+from repro.cleaning.model import (
+    CleaningPlan,
+    CleaningProblem,
+    EMPTY_PLAN,
+    build_cleaning_problem,
+)
+from repro.core.tp import compute_quality_tp
+from repro.exceptions import InvalidCleaningProblemError
+
+
+@pytest.fixture
+def quality(udb1):
+    return compute_quality_tp(udb1.ranked(), 2)
+
+
+def _problem(quality, budget=10, costs=None, sc=None):
+    costs = costs or {"S1": 1, "S2": 2, "S3": 3, "S4": 4}
+    sc = sc or {"S1": 0.5, "S2": 0.5, "S3": 0.5, "S4": 0.5}
+    return build_cleaning_problem(quality, costs, sc, budget)
+
+
+class TestBuildCleaningProblem:
+    def test_arrays_follow_database_order(self, udb1, quality):
+        problem = _problem(quality)
+        assert problem.costs == (1, 2, 3, 4)
+        assert problem.xtuple_id(0) == "S1"
+        assert problem.xtuple_index("S3") == 2
+
+    def test_sequence_inputs_accepted(self, quality):
+        problem = build_cleaning_problem(
+            quality, [1, 1, 1, 1], [0.5, 0.5, 0.5, 0.5], 5
+        )
+        assert problem.costs == (1, 1, 1, 1)
+
+    def test_missing_mapping_entry_rejected(self, quality):
+        with pytest.raises(InvalidCleaningProblemError):
+            build_cleaning_problem(quality, {"S1": 1}, {"S1": 0.5}, 5)
+
+    def test_unknown_mapping_entry_rejected(self, quality):
+        costs = {"S1": 1, "S2": 1, "S3": 1, "S4": 1, "S9": 1}
+        sc = {xid: 0.5 for xid in ("S1", "S2", "S3", "S4")}
+        with pytest.raises(InvalidCleaningProblemError):
+            build_cleaning_problem(quality, costs, sc, 5)
+
+    def test_wrong_sequence_length_rejected(self, quality):
+        with pytest.raises(InvalidCleaningProblemError):
+            build_cleaning_problem(quality, [1, 1], [0.5] * 4, 5)
+
+    @pytest.mark.parametrize("budget", [-1, 1.5, "10", None])
+    def test_invalid_budget_rejected(self, quality, budget):
+        with pytest.raises(InvalidCleaningProblemError):
+            _problem(quality, budget=budget)
+
+    @pytest.mark.parametrize("cost", [0, -3, 1.5, True])
+    def test_invalid_cost_rejected(self, quality, cost):
+        with pytest.raises(InvalidCleaningProblemError):
+            _problem(quality, costs={"S1": cost, "S2": 1, "S3": 1, "S4": 1})
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1, float("nan")])
+    def test_invalid_sc_probability_rejected(self, quality, p):
+        with pytest.raises(InvalidCleaningProblemError):
+            _problem(quality, sc={"S1": p, "S2": 0.5, "S3": 0.5, "S4": 0.5})
+
+    def test_positive_g_rejected(self, udb1, quality):
+        with pytest.raises(InvalidCleaningProblemError):
+            CleaningProblem(
+                ranked=quality.ranked,
+                k=2,
+                g_by_xtuple=(0.5, 0.0, 0.0, 0.0),
+                topk_mass_by_xtuple=(0.0,) * 4,
+                costs=(1,) * 4,
+                sc_probabilities=(0.5,) * 4,
+                budget=5,
+            )
+
+
+class TestProblemAccessors:
+    def test_quality_is_g_sum(self, quality):
+        problem = _problem(quality)
+        assert problem.quality == pytest.approx(quality.quality, abs=1e-12)
+
+    def test_max_operations(self, quality):
+        problem = _problem(quality, budget=10)
+        assert problem.max_operations(0) == 10  # cost 1
+        assert problem.max_operations(3) == 2  # cost 4
+
+    def test_with_budget_preserves_everything_else(self, quality):
+        problem = _problem(quality, budget=10)
+        other = problem.with_budget(3)
+        assert other.budget == 3
+        assert other.costs == problem.costs
+        assert other.g_by_xtuple == problem.g_by_xtuple
+
+    def test_candidates_drop_unaffordable(self, quality):
+        problem = _problem(quality, budget=2)
+        names = {problem.xtuple_id(l) for l in problem.candidate_indices()}
+        # S3 costs 3 > budget 2; S4 has g = 0.
+        assert names == {"S1", "S2"}
+
+    def test_candidates_drop_zero_sc(self, quality):
+        problem = _problem(
+            quality, sc={"S1": 0.0, "S2": 0.5, "S3": 0.5, "S4": 0.5}
+        )
+        names = {problem.xtuple_id(l) for l in problem.candidate_indices()}
+        assert "S1" not in names
+
+    def test_unknown_xtuple_index_rejected(self, quality):
+        problem = _problem(quality)
+        with pytest.raises(InvalidCleaningProblemError):
+            problem.xtuple_index("S9")
+
+
+class TestCleaningPlan:
+    def test_empty_plan(self, quality):
+        problem = _problem(quality)
+        assert len(EMPTY_PLAN) == 0
+        assert EMPTY_PLAN.total_cost(problem) == 0
+        assert EMPTY_PLAN.is_feasible(problem)
+        assert EMPTY_PLAN.count("S1") == 0
+
+    def test_cost_accounting(self, quality):
+        problem = _problem(quality)
+        plan = CleaningPlan(operations={"S1": 3, "S3": 2})
+        assert plan.total_operations == 5
+        assert plan.total_cost(problem) == 3 * 1 + 2 * 3
+        assert "S1" in plan
+        assert "S2" not in plan
+
+    def test_feasibility(self, quality):
+        problem = _problem(quality, budget=5)
+        assert CleaningPlan(operations={"S1": 5}).is_feasible(problem)
+        assert not CleaningPlan(operations={"S1": 6}).is_feasible(problem)
+
+    @pytest.mark.parametrize("count", [0, -1, 1.5, "2"])
+    def test_invalid_counts_rejected(self, count):
+        with pytest.raises(InvalidCleaningProblemError):
+            CleaningPlan(operations={"S1": count})
+
+    def test_operations_are_copied(self):
+        source = {"S1": 1}
+        plan = CleaningPlan(operations=source)
+        source["S2"] = 5
+        assert "S2" not in plan

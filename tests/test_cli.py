@@ -1,0 +1,231 @@
+"""End-to-end tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.db import io
+from repro.datasets.paper import udb1
+
+
+@pytest.fixture
+def synthetic_db_file(tmp_path):
+    path = tmp_path / "db.json"
+    code = main(
+        [
+            "generate",
+            "synthetic",
+            "--output",
+            str(path),
+            "--xtuples",
+            "50",
+            "--seed",
+            "3",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture
+def udb1_file(tmp_path):
+    path = tmp_path / "udb1.json"
+    io.save_json(udb1(), path)
+    return path
+
+
+class TestGenerate:
+    def test_synthetic(self, synthetic_db_file, capsys):
+        db = io.load_json(synthetic_db_file)
+        assert db.num_xtuples == 50
+        assert db.num_tuples == 500
+
+    def test_mov(self, tmp_path, capsys):
+        path = tmp_path / "mov.json"
+        assert main(["generate", "mov", "-o", str(path), "--xtuples", "40"]) == 0
+        db = io.load_json(path)
+        assert db.num_xtuples == 40
+        out = capsys.readouterr().out
+        assert "40 x-tuples" in out
+
+    def test_deterministic_per_seed(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        main(["generate", "synthetic", "-o", str(a), "--xtuples", "10", "--seed", "9"])
+        main(["generate", "synthetic", "-o", str(b), "--xtuples", "10", "--seed", "9"])
+        assert a.read_text() == b.read_text()
+
+
+class TestQuality:
+    def test_tp_matches_paper(self, udb1_file, capsys):
+        assert main(["quality", "--db", str(udb1_file), "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "-2.551326" in out
+
+    @pytest.mark.parametrize("method", ["pw", "pwr", "tp"])
+    def test_all_methods_agree(self, udb1_file, capsys, method):
+        main(["quality", "--db", str(udb1_file), "-k", "2", "--method", method])
+        out = capsys.readouterr().out
+        assert "-2.551326" in out
+
+    def test_pwr_reports_result_count(self, udb1_file, capsys):
+        main(["quality", "--db", str(udb1_file), "-k", "2", "--method", "pwr"])
+        assert "distinct pw-results: 7" in capsys.readouterr().out
+
+    def test_montecarlo_samples_flag(self, udb1_file, capsys):
+        main(
+            [
+                "quality",
+                "--db",
+                str(udb1_file),
+                "-k",
+                "2",
+                "--method",
+                "montecarlo",
+                "--samples",
+                "2000",
+            ]
+        )
+        assert "PWS-quality" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_ptk_paper_answer(self, udb1_file, capsys):
+        main(
+            [
+                "query",
+                "--db",
+                str(udb1_file),
+                "-k",
+                "2",
+                "--semantics",
+                "ptk",
+                "--threshold",
+                "0.4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "['t1', 't2', 't5']" in out
+
+    def test_all_semantics(self, udb1_file, capsys):
+        main(["query", "--db", str(udb1_file), "-k", "2"])
+        out = capsys.readouterr().out
+        assert "PT-2" in out
+        assert "U-kRanks" in out
+        assert "Global-top2" in out
+        assert "PWS-quality" in out
+
+
+class TestClean:
+    def test_plan_only(self, synthetic_db_file, capsys):
+        assert (
+            main(
+                [
+                    "clean",
+                    "--db",
+                    str(synthetic_db_file),
+                    "-k",
+                    "5",
+                    "--budget",
+                    "20",
+                    "--planner",
+                    "dp",
+                    "-v",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "expected improvement" in out
+        assert "pclean(" in out
+
+    def test_execute_and_write(self, synthetic_db_file, tmp_path, capsys):
+        cleaned_path = tmp_path / "cleaned.json"
+        main(
+            [
+                "clean",
+                "--db",
+                str(synthetic_db_file),
+                "-k",
+                "5",
+                "--budget",
+                "20",
+                "--execute",
+                "-o",
+                str(cleaned_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "simulated execution" in out
+        cleaned = io.load_json(cleaned_path)
+        assert cleaned.num_xtuples == 50
+
+    def test_explicit_cost_and_sc_files(self, udb1_file, tmp_path, capsys):
+        costs = tmp_path / "costs.json"
+        sc = tmp_path / "sc.json"
+        costs.write_text(json.dumps({"S1": 1, "S2": 1, "S3": 1, "S4": 1}))
+        sc.write_text(json.dumps({"S1": 1.0, "S2": 1.0, "S3": 1.0, "S4": 1.0}))
+        main(
+            [
+                "clean",
+                "--db",
+                str(udb1_file),
+                "-k",
+                "2",
+                "--budget",
+                "3",
+                "--planner",
+                "dp",
+                "--costs",
+                str(costs),
+                "--sc",
+                str(sc),
+            ]
+        )
+        out = capsys.readouterr().out
+        # With P=1 and unit costs, budget 3 cleans all three uncertain
+        # sensors: expected improvement = |S| = 2.551326.
+        assert "expected improvement: 2.551326" in out
+
+    @pytest.mark.parametrize("planner", ["dp", "greedy", "randp", "randu"])
+    def test_every_planner_runs(self, synthetic_db_file, capsys, planner):
+        assert (
+            main(
+                [
+                    "clean",
+                    "--db",
+                    str(synthetic_db_file),
+                    "-k",
+                    "5",
+                    "--budget",
+                    "10",
+                    "--planner",
+                    planner,
+                ]
+            )
+            == 0
+        )
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_planner_rejected(self, udb1_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "clean",
+                    "--db",
+                    str(udb1_file),
+                    "--budget",
+                    "5",
+                    "--planner",
+                    "magic",
+                ]
+            )
+
+    def test_unknown_ranking_rejected(self, udb1_file):
+        with pytest.raises(SystemExit):
+            main(["quality", "--db", str(udb1_file), "--ranking", "bogus"])

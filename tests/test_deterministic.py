@@ -1,0 +1,61 @@
+"""Unit tests for deterministic top-k over one world."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.possible_worlds import iter_worlds
+from repro.exceptions import InvalidQueryError
+from repro.queries.deterministic import require_valid_k, topk_of_world
+
+from conftest import databases
+
+
+class TestRequireValidK:
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "2", True])
+    def test_rejects_bad_k(self, bad):
+        with pytest.raises(InvalidQueryError):
+            require_valid_k(bad)
+
+    def test_accepts_positive_ints(self):
+        require_valid_k(1)
+        require_valid_k(100)
+
+
+class TestTopkOfWorld:
+    def test_paper_example_world(self, udb1):
+        ranked = udb1.ranked()
+        # World {t0, t3, t4, t6}: top-2 by temperature is (t6, t4).
+        world = next(
+            w
+            for w in iter_worlds(udb1)
+            if {t.tid for t in w.real_tuples} == {"t0", "t3", "t4", "t6"}
+        )
+        assert topk_of_world(ranked, world, 2) == ("t6", "t4")
+
+    def test_k_larger_than_world_gives_short_result(self, udb1):
+        ranked = udb1.ranked()
+        world = next(iter_worlds(udb1))
+        result = topk_of_world(ranked, world, 10)
+        assert len(result) == 4  # one real tuple per complete x-tuple
+
+    @settings(max_examples=50)
+    @given(databases(), st.integers(1, 5))
+    def test_results_are_rank_sorted_and_present(self, db, k):
+        ranked = db.ranked()
+        for world in iter_worlds(db):
+            result = topk_of_world(ranked, world, k)
+            assert len(result) == min(k, len(world.real_tuples))
+            positions = [ranked.rank_of(tid) for tid in result]
+            assert positions == sorted(positions)
+            present = {t.tid for t in world.real_tuples}
+            assert all(tid in present for tid in result)
+
+    @settings(max_examples=30)
+    @given(databases(), st.integers(1, 5))
+    def test_result_is_prefix_of_present_tuples(self, db, k):
+        ranked = db.ranked()
+        for world in iter_worlds(db):
+            present = {t.tid for t in world.real_tuples}
+            expected = [t.tid for t in ranked.order if t.tid in present][:k]
+            assert list(topk_of_world(ranked, world, k)) == expected

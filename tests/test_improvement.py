@@ -1,0 +1,156 @@
+"""Expected-improvement math: Theorem 2, Lemmas 3-5, brute-force Eq. 17."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning.improvement import (
+    cumulative_gain,
+    expected_improvement,
+    expected_improvement_bruteforce,
+    expected_quality_after,
+    improvement_upper_bound,
+    marginal_gain,
+    success_probability,
+)
+from repro.cleaning.model import CleaningPlan, build_cleaning_problem
+from repro.core.tp import compute_quality_tp
+
+from conftest import cleaning_problems
+
+
+def _paper_problem(udb1, budget=100, sc=None, costs=None):
+    quality = compute_quality_tp(udb1.ranked(), 2)
+    costs = costs or {"S1": 1, "S2": 1, "S3": 1, "S4": 1}
+    sc = sc or {"S1": 1.0, "S2": 1.0, "S3": 1.0, "S4": 1.0}
+    return build_cleaning_problem(quality, costs, sc, budget)
+
+
+class TestBuildingBlocks:
+    def test_success_probability(self):
+        assert success_probability(0.5, 0) == 0.0
+        assert success_probability(0.5, 1) == 0.5
+        assert success_probability(0.5, 2) == pytest.approx(0.75)
+        assert success_probability(1.0, 1) == 1.0
+        assert success_probability(0.0, 100) == 0.0
+
+    def test_negative_operations_rejected(self):
+        with pytest.raises(ValueError):
+            success_probability(0.5, -1)
+        with pytest.raises(ValueError):
+            marginal_gain(0.5, -1.0, -1)
+
+    def test_marginal_gain_base_case(self):
+        assert marginal_gain(0.5, -1.0, 0) == 0.0
+
+    def test_marginal_gains_telescope_to_cumulative(self):
+        g, sc = -0.7, 0.3
+        for j in range(1, 8):
+            total = math.fsum(marginal_gain(sc, g, i) for i in range(1, j + 1))
+            assert total == pytest.approx(cumulative_gain(sc, g, j))
+
+    @given(
+        st.floats(min_value=0.01, max_value=1.0),
+        st.floats(min_value=-5.0, max_value=-0.01),
+        st.integers(1, 30),
+    )
+    def test_lemma4_monotonic_decrease(self, sc, g, j):
+        assert marginal_gain(sc, g, j) >= marginal_gain(sc, g, j + 1) - 1e-15
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=-5.0, max_value=0.0),
+        st.integers(0, 30),
+    )
+    def test_gains_are_nonnegative(self, sc, g, j):
+        assert marginal_gain(sc, g, j) >= 0.0
+        assert cumulative_gain(sc, g, j) >= 0.0
+
+
+class TestTheorem2OnPaperExample:
+    def test_cleaning_s3_once_with_certain_success(self, udb1):
+        # pclean(S3) with P=1: improvement = -g(S3) exactly.
+        problem = _paper_problem(udb1)
+        g = dict(zip(("S1", "S2", "S3", "S4"), problem.g_by_xtuple))
+        plan = CleaningPlan(operations={"S3": 1})
+        assert expected_improvement(problem, plan) == pytest.approx(-g["S3"])
+
+    def test_expected_quality_after_matches_bruteforce(self, udb1):
+        problem = _paper_problem(udb1)
+        plan = CleaningPlan(operations={"S3": 1})
+        brute = expected_improvement_bruteforce(udb1, problem, plan)
+        assert expected_improvement(problem, plan) == pytest.approx(
+            brute, abs=1e-9
+        )
+        assert expected_quality_after(problem, plan) == pytest.approx(
+            problem.quality + brute, abs=1e-9
+        )
+
+    def test_cleaning_everything_yields_zero_entropy_in_expectation(self, udb1):
+        # P=1 probes of every uncertain x-tuple: expected improvement
+        # equals |S|; expected cleaned quality is zero... but only via
+        # Theorem 2's linearity (true quality of each outcome varies).
+        problem = _paper_problem(udb1)
+        plan = CleaningPlan(operations={"S1": 1, "S2": 1, "S3": 1})
+        assert expected_improvement(problem, plan) == pytest.approx(
+            -problem.quality, abs=1e-9
+        )
+        assert expected_quality_after(problem, plan) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_multiple_operations_raise_success_odds(self, udb1):
+        problem = _paper_problem(udb1, sc={"S1": 0.3, "S2": 0.3, "S3": 0.3, "S4": 0.3})
+        one = expected_improvement(problem, CleaningPlan(operations={"S3": 1}))
+        three = expected_improvement(problem, CleaningPlan(operations={"S3": 3}))
+        assert three > one
+        g3 = problem.g_by_xtuple[2]
+        assert three == pytest.approx(-(1 - 0.7**3) * g3)
+
+    def test_cleaning_certain_xtuple_gains_nothing(self, udb1):
+        problem = _paper_problem(udb1)
+        plan = CleaningPlan(operations={"S4": 5})
+        assert expected_improvement(problem, plan) == 0.0
+
+    def test_lemma5_zero_g_xtuples_excluded_from_candidates(self, udb1):
+        problem = _paper_problem(udb1)
+        candidates = {problem.xtuple_id(l) for l in problem.candidate_indices()}
+        assert candidates == {"S1", "S2", "S3"}
+
+
+class TestTheorem2VsBruteforce:
+    @settings(max_examples=40, deadline=None)
+    @given(cleaning_problems(max_xtuples=3, max_budget=8))
+    def test_matches_eq17_enumeration(self, db_problem):
+        db, problem = db_problem
+        # Probe the first two candidates once or twice each.
+        candidates = problem.candidate_indices()[:2]
+        if not candidates:
+            return
+        plan = CleaningPlan(
+            operations={
+                problem.xtuple_id(l): (i % 2) + 1
+                for i, l in enumerate(candidates)
+            }
+        )
+        fast = expected_improvement(problem, plan)
+        brute = expected_improvement_bruteforce(db, problem, plan)
+        assert fast == pytest.approx(brute, abs=1e-8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(cleaning_problems())
+    def test_improvement_bounded(self, db_problem):
+        _, problem = db_problem
+        candidates = problem.candidate_indices()
+        plan = CleaningPlan(
+            operations={problem.xtuple_id(l): 3 for l in candidates}
+        )
+        improvement = expected_improvement(problem, plan)
+        assert -1e-12 <= improvement <= improvement_upper_bound(problem) + 1e-9
+        assert improvement_upper_bound(problem) <= -problem.quality + 1e-9
+
+    def test_empty_plan_improves_nothing(self, udb1):
+        problem = _paper_problem(udb1)
+        assert expected_improvement(problem, CleaningPlan(operations={})) == 0.0

@@ -1,0 +1,149 @@
+"""Grouped knapsack solver: exactness, reconstruction, numpy/python parity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning.knapsack import (
+    KnapsackGroup,
+    solve_01_knapsack_bruteforce,
+    solve_grouped_knapsack,
+    solve_grouped_knapsack_bruteforce,
+)
+
+
+@st.composite
+def group_instances(draw):
+    """Random grouped instances with non-increasing values per group."""
+    num_groups = draw(st.integers(1, 4))
+    groups = []
+    for _ in range(num_groups):
+        cost = draw(st.integers(1, 4))
+        length = draw(st.integers(1, 4))
+        raw = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=5.0),
+                min_size=length,
+                max_size=length,
+            )
+        )
+        values = tuple(sorted(raw, reverse=True))
+        groups.append(KnapsackGroup(cost=cost, values=values))
+    capacity = draw(st.integers(0, 12))
+    return groups, capacity
+
+
+class TestKnapsackGroup:
+    def test_prefix_value(self):
+        g = KnapsackGroup(cost=2, values=(3.0, 2.0, 1.0))
+        assert g.prefix_value(0) == 0.0
+        assert g.prefix_value(2) == 5.0
+        assert g.prefix_value(3) == 6.0
+
+    def test_invalid_cost_rejected(self):
+        with pytest.raises(ValueError):
+            KnapsackGroup(cost=0, values=(1.0,))
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            KnapsackGroup(cost=1, values=(-0.5,))
+
+
+class TestSolveGroupedKnapsack:
+    def test_trivial_single_group(self):
+        groups = [KnapsackGroup(cost=2, values=(5.0, 3.0, 1.0))]
+        solution = solve_grouped_knapsack(groups, 4)
+        assert solution.value == pytest.approx(8.0)
+        assert solution.counts == [2]
+        assert solution.cost == 4
+
+    def test_zero_capacity(self):
+        groups = [KnapsackGroup(cost=1, values=(5.0,))]
+        solution = solve_grouped_knapsack(groups, 0)
+        assert solution.value == 0.0
+        assert solution.counts == [0]
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            solve_grouped_knapsack([], -1)
+
+    def test_prefers_high_value_per_cost_mixture(self):
+        groups = [
+            KnapsackGroup(cost=3, values=(9.0,)),  # 3 per unit
+            KnapsackGroup(cost=2, values=(8.0,)),  # 4 per unit
+        ]
+        solution = solve_grouped_knapsack(groups, 4)
+        # Only one fits entirely: the exact optimum is 9 (cost 3), not
+        # greedy's 8.
+        assert solution.value == pytest.approx(9.0)
+        assert solution.counts == [1, 0]
+
+    def test_value_curve_is_monotone(self):
+        groups = [
+            KnapsackGroup(cost=2, values=(4.0, 2.0)),
+            KnapsackGroup(cost=3, values=(5.0,)),
+        ]
+        curve = solve_grouped_knapsack(groups, 10).best_value_by_capacity
+        assert all(a <= b + 1e-12 for a, b in zip(curve, curve[1:]))
+
+    @settings(max_examples=80, deadline=None)
+    @given(group_instances())
+    def test_matches_bruteforce(self, instance):
+        groups, capacity = instance
+        solution = solve_grouped_knapsack(groups, capacity)
+        best_value, _ = solve_grouped_knapsack_bruteforce(groups, capacity)
+        assert solution.value == pytest.approx(best_value, abs=1e-9)
+
+    @settings(max_examples=80, deadline=None)
+    @given(group_instances())
+    def test_numpy_and_python_agree(self, instance):
+        groups, capacity = instance
+        a = solve_grouped_knapsack(groups, capacity, use_numpy=True)
+        b = solve_grouped_knapsack(groups, capacity, use_numpy=False)
+        assert a.value == pytest.approx(b.value, abs=1e-9)
+        assert a.counts == b.counts
+
+    @settings(max_examples=80, deadline=None)
+    @given(group_instances())
+    def test_reconstruction_is_feasible_and_consistent(self, instance):
+        groups, capacity = instance
+        solution = solve_grouped_knapsack(groups, capacity)
+        cost = sum(g.cost * c for g, c in zip(groups, solution.counts))
+        value = sum(g.prefix_value(c) for g, c in zip(groups, solution.counts))
+        assert cost <= capacity
+        assert cost == solution.cost
+        assert value == pytest.approx(solution.value, abs=1e-9)
+        for g, c in zip(groups, solution.counts):
+            assert 0 <= c <= len(g.values)
+
+
+class TestBruteforce01:
+    def test_small_instance(self):
+        values = [6.0, 10.0, 12.0]
+        costs = [1, 2, 3]
+        best, subset = solve_01_knapsack_bruteforce(values, costs, 5)
+        assert best == pytest.approx(22.0)
+        assert sorted(subset) == [1, 2]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            solve_01_knapsack_bruteforce([1.0], [1, 2], 3)
+
+    def test_grouped_problem_equals_flat_expansion(self):
+        # A grouped instance expanded to flat 0/1 items must have the
+        # same optimum (prefix property follows from sorted values).
+        groups = [
+            KnapsackGroup(cost=2, values=(4.0, 3.0, 0.5)),
+            KnapsackGroup(cost=1, values=(2.0, 1.0)),
+        ]
+        capacity = 6
+        flat_values, flat_costs = [], []
+        for g in groups:
+            for v in g.values:
+                flat_values.append(v)
+                flat_costs.append(g.cost)
+        flat_best, _ = solve_01_knapsack_bruteforce(
+            flat_values, flat_costs, capacity
+        )
+        grouped = solve_grouped_knapsack(groups, capacity)
+        assert grouped.value == pytest.approx(flat_best)

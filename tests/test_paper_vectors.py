@@ -1,0 +1,156 @@
+"""Every exact number the paper states, asserted in one place.
+
+If any of these fail, the reproduction has drifted from the paper.
+Sources are cited per test (section / figure / table of Mo et al.,
+ICDE 2013).
+"""
+
+import math
+
+import pytest
+
+from repro.cleaning.improvement import expected_improvement
+from repro.cleaning.model import CleaningPlan, build_cleaning_problem
+from repro.core.pw import compute_quality_pw
+from repro.core.pwr import compute_quality_pwr
+from repro.core.tp import compute_quality_tp
+from repro.db.possible_worlds import world_probability
+from repro.queries import ptk, utopk
+from repro.queries.psr import compute_rank_probabilities
+
+
+class TestSectionI:
+    def test_table1_dimensions(self, udb1):
+        """Table I: 4 sensors, 7 tuples, S4 certain at 26 degrees."""
+        assert udb1.num_xtuples == 4
+        assert udb1.num_tuples == 7
+        assert udb1.xtuple("S4").is_certain
+        assert udb1.tuple("t6").value == 26.0
+
+    def test_sensor_s1_reading(self, udb1):
+        """Section I: 'the reading of sensor S1 is 21C with probability 0.6'."""
+        assert udb1.tuple("t0").value == 21.0
+        assert udb1.tuple("t0").probability == 0.6
+
+    def test_ptk_example(self, udb1):
+        """Section I: k=2, T=0.4 -> answer {t1, t2, t5}."""
+        answer = ptk.evaluate(udb1.ranked(), 2, 0.4)
+        assert set(answer.tids) == {"t1", "t2", "t5"}
+
+    def test_possible_world_probability(self, udb1):
+        """Section I: W = {t0, t3, t4, t6} has probability
+        0.6 x 0.3 x 0.4 x 1 = 0.072."""
+        assert world_probability(udb1, ["t0", "t3", "t4", "t6"]) == (
+            pytest.approx(0.072)
+        )
+
+    def test_quality_scores(self, udb1, udb2):
+        """Section I: udb1 quality -2.55, udb2 quality -1.85."""
+        assert compute_quality_pw(udb1.ranked(), 2).quality == pytest.approx(
+            -2.55, abs=0.005
+        )
+        assert compute_quality_pw(udb2.ranked(), 2).quality == pytest.approx(
+            -1.85, abs=0.005
+        )
+
+
+class TestSectionIII:
+    def test_lemma1_example(self, udb1):
+        """Section III-B: pw-result (t1, t2) has probability
+        0.112 + 0.168 = 0.28."""
+        distribution = compute_quality_pwr(
+            udb1.ranked(), 2, collect=True
+        ).distribution
+        assert distribution[("t1", "t2")] == pytest.approx(0.28)
+
+    def test_figure2_has_seven_results(self, udb1):
+        assert compute_quality_pwr(udb1.ranked(), 2).num_results == 7
+
+    def test_figure3_has_four_results(self, udb2):
+        assert compute_quality_pwr(udb2.ranked(), 2).num_results == 4
+
+    def test_pw_results_sum_to_one(self, udb1):
+        """Below Definition 1: Σ_r Pr(r) = 1."""
+        distribution = compute_quality_pwr(
+            udb1.ranked(), 2, collect=True
+        ).distribution
+        assert math.fsum(distribution.values()) == pytest.approx(1.0)
+
+
+class TestSectionIV:
+    def test_three_algorithms_agree_within_1e8(self, udb1, udb2):
+        """Section VI: 'absolute difference between the quality scores
+        calculated by different methods is always smaller than 1e-8'."""
+        for db in (udb1, udb2):
+            ranked = db.ranked()
+            pw = compute_quality_pw(ranked, 2).quality
+            pwr = compute_quality_pwr(ranked, 2).quality
+            tp = compute_quality_tp(ranked, 2).quality
+            assert abs(pw - pwr) < 1e-8
+            assert abs(pw - tp) < 1e-8
+
+    def test_theorem1_tuple_form_on_udb1(self, udb1):
+        """Theorem 1: S = Σ ω_i p_i reproduces the entropy exactly."""
+        result = compute_quality_tp(udb1.ranked(), 2)
+        rank_probs = result.rank_probabilities
+        manual = math.fsum(
+            w * p
+            for w, p in zip(result.weights_prefix, rank_probs.topk_prefix)
+        )
+        assert manual == pytest.approx(
+            compute_quality_pw(udb1.ranked(), 2).quality, abs=1e-9
+        )
+
+    def test_lemma2_stops_after_k_saturated_xtuples(self, udb1):
+        """Lemma 2 / early stop: with k=1, scanning can stop once one
+        x-tuple is exhausted above the scan point."""
+        psr = compute_rank_probabilities(udb1.ranked(), 1)
+        assert psr.cutoff < udb1.num_tuples
+
+
+class TestSectionV:
+    def test_definition5_cleaning_s3_gives_udb2(self, udb1, udb2):
+        """Definition 5 / Tables I-II: successful pclean(S3) revealing
+        t5 turns udb1 into udb2."""
+        s3 = udb1.xtuple("S3")
+        cleaned = udb1.with_xtuple_replaced("S3", s3.collapsed_to("t5"))
+        assert compute_quality_pw(cleaned.ranked(), 2).quality == (
+            pytest.approx(compute_quality_pw(udb2.ranked(), 2).quality)
+        )
+
+    def test_theorem2_single_xtuple_certain_success(self, udb1):
+        """With P=1 and M=1 the expected improvement of cleaning S3
+        equals -g(S3) -- and the realized udb2 improvement averages to
+        it across the e_i-weighted outcomes."""
+        quality = compute_quality_tp(udb1.ranked(), 2)
+        problem = build_cleaning_problem(
+            quality,
+            {xid: 1 for xid in ("S1", "S2", "S3", "S4")},
+            {xid: 1.0 for xid in ("S1", "S2", "S3", "S4")},
+            budget=1,
+        )
+        improvement = expected_improvement(
+            problem, CleaningPlan(operations={"S3": 1})
+        )
+        # Outcome 1 (p=0.6): reveal t5 -> udb2, quality -1.8522.
+        # Outcome 2 (p=0.4): reveal t4 -> quality of that database.
+        udb2_like = udb1.with_xtuple_replaced(
+            "S3", udb1.xtuple("S3").collapsed_to("t5")
+        )
+        udb_t4 = udb1.with_xtuple_replaced(
+            "S3", udb1.xtuple("S3").collapsed_to("t4")
+        )
+        expected_after = 0.6 * compute_quality_pw(
+            udb2_like.ranked(), 2
+        ).quality + 0.4 * compute_quality_pw(udb_t4.ranked(), 2).quality
+        assert improvement == pytest.approx(
+            expected_after - quality.quality, abs=1e-9
+        )
+
+
+class TestFigure2Mode:
+    def test_most_probable_result(self, udb1):
+        """Figure 2's tallest bar: (t1, t2) at 0.28."""
+        answer = utopk.evaluate(udb1.ranked(), 2)
+        assert answer.result == ("t1", "t2")
+        assert answer.probability == pytest.approx(0.28)

@@ -1,0 +1,123 @@
+"""Unit and property tests for possible-world semantics."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.db.database import ProbabilisticDatabase
+from repro.db.possible_worlds import (
+    iter_worlds,
+    sample_world,
+    world_probability,
+)
+from repro.db.tuples import make_xtuple
+
+from conftest import databases
+
+
+class TestIterWorlds:
+    def test_paper_world_probability(self, udb1):
+        # The paper: W = {t0, t3, t4, t6} has probability 0.072.
+        target = frozenset({"t0", "t3", "t4", "t6"})
+        worlds = {
+            frozenset(t.tid for t in w.real_tuples): w.probability
+            for w in iter_worlds(udb1)
+        }
+        assert worlds[target] == pytest.approx(0.072)
+
+    def test_complete_database_world_count(self, udb1):
+        worlds = list(iter_worlds(udb1))
+        assert len(worlds) == 8
+        assert all(len(w.real_tuples) == 4 for w in worlds)
+
+    def test_incomplete_database_includes_null_worlds(self):
+        db = ProbabilisticDatabase(
+            [make_xtuple("a", [("t0", 1.0, 0.25), ("t1", 2.0, 0.25)])]
+        )
+        worlds = list(iter_worlds(db))
+        assert len(worlds) == 3
+        null_world = next(w for w in worlds if not w.real_tuples)
+        assert null_world.probability == pytest.approx(0.5)
+
+    def test_contains(self, udb1):
+        world = next(iter_worlds(udb1))
+        present = world.real_tuples[0].tid
+        assert present in world
+        assert "definitely-not" not in world
+
+
+class TestWorldProbability:
+    def test_explicit_selection(self, udb1):
+        p = world_probability(udb1, ["t0", "t3", "t4", "t6"])
+        assert p == pytest.approx(0.072)
+
+    def test_null_selection(self):
+        db = ProbabilisticDatabase(
+            [make_xtuple("a", [("t0", 1.0, 0.25)])]
+        )
+        assert world_probability(db, [None]) == pytest.approx(0.75)
+        assert world_probability(db, ["t0"]) == pytest.approx(0.25)
+
+    def test_wrong_length_rejected(self, udb1):
+        with pytest.raises(ValueError):
+            world_probability(udb1, ["t0"])
+
+    def test_unknown_member_rejected(self, udb1):
+        with pytest.raises(ValueError):
+            world_probability(udb1, ["t2", "t0", "t4", "t6"])
+
+
+class TestWorldProperties:
+    @settings(max_examples=60)
+    @given(databases())
+    def test_probabilities_sum_to_one(self, db):
+        total = math.fsum(w.probability for w in iter_worlds(db))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    @settings(max_examples=60)
+    @given(databases())
+    def test_each_world_picks_at_most_one_per_xtuple(self, db):
+        for world in iter_worlds(db):
+            assert len(world.choices) == db.num_xtuples
+            for xt, choice in zip(db.xtuples, world.choices):
+                if choice is not None:
+                    assert choice.xtuple_id == xt.xid
+
+    @settings(max_examples=30)
+    @given(databases(complete=True))
+    def test_complete_databases_have_no_null_choices(self, db):
+        for world in iter_worlds(db):
+            assert all(choice is not None for choice in world.choices)
+
+    @settings(max_examples=20)
+    @given(databases(max_xtuples=3, max_alternatives=2))
+    def test_world_count_matches_formula(self, db):
+        assert len(list(iter_worlds(db))) == db.num_possible_worlds()
+
+
+class TestSampling:
+    def test_sampling_matches_enumeration(self, udb1):
+        rng = random.Random(123)
+        counts = {}
+        n = 20_000
+        for _ in range(n):
+            w = sample_world(udb1, rng)
+            key = frozenset(t.tid for t in w.real_tuples)
+            counts[key] = counts.get(key, 0) + 1
+        exact = {
+            frozenset(t.tid for t in w.real_tuples): w.probability
+            for w in iter_worlds(udb1)
+        }
+        for key, probability in exact.items():
+            observed = counts.get(key, 0) / n
+            assert observed == pytest.approx(probability, abs=0.02)
+
+    def test_sampled_world_probability_is_consistent(self, udb1):
+        rng = random.Random(7)
+        w = sample_world(udb1, rng)
+        selection = [c.tid if c is not None else None for c in w.choices]
+        assert w.probability == pytest.approx(
+            world_probability(udb1, selection)
+        )

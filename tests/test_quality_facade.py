@@ -1,0 +1,59 @@
+"""The compute_quality facade and cross-method agreement."""
+
+import pytest
+
+from repro.core.quality import (
+    METHODS,
+    compute_quality,
+    compute_quality_detailed,
+)
+from repro.db.ranking import by_value
+
+
+class TestFacade:
+    def test_all_methods_agree_on_udb1(self, udb1):
+        values = {
+            method: compute_quality(udb1, 2, method=method)
+            for method in ("tp", "pwr", "pw")
+        }
+        reference = values["pw"]
+        for method, value in values.items():
+            assert value == pytest.approx(reference, abs=1e-9), method
+
+    def test_montecarlo_is_approximate(self, udb1):
+        value = compute_quality(udb1, 2, method="montecarlo", num_samples=20_000)
+        assert value == pytest.approx(-2.55, abs=0.05)
+
+    def test_detailed_returns_method_objects(self, udb1):
+        tp = compute_quality_detailed(udb1, 2, method="tp")
+        assert hasattr(tp, "rank_probabilities")
+        pwr = compute_quality_detailed(udb1, 2, method="pwr", collect=True)
+        assert pwr.distribution is not None
+
+    def test_unknown_method_rejected(self, udb1):
+        with pytest.raises(ValueError):
+            compute_quality(udb1, 2, method="quantum")
+
+    def test_methods_constant_is_exhaustive(self, udb1):
+        for method in METHODS:
+            kwargs = {"num_samples": 100} if method == "montecarlo" else {}
+            compute_quality(udb1, 2, method=method, **kwargs)
+
+    def test_accepts_prebuilt_ranked_view(self, udb1):
+        ranked = udb1.ranked()
+        assert compute_quality(ranked, 2) == pytest.approx(
+            compute_quality(udb1, 2)
+        )
+
+    def test_ranking_override_on_ranked_view_rejected(self, udb1):
+        ranked = udb1.ranked()
+        with pytest.raises(ValueError):
+            compute_quality(ranked, 2, ranking=by_value())
+
+    def test_custom_ranking_changes_result(self, udb1):
+        from repro.db.ranking import custom
+
+        ascending = custom(lambda t: -float(t.value), name="asc")
+        default = compute_quality(udb1, 2)
+        flipped = compute_quality(udb1, 2, ranking=ascending)
+        assert default != pytest.approx(flipped)

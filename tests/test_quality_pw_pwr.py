@@ -1,0 +1,173 @@
+"""PW and PWR quality algorithms: paper vectors, Lemma 1, equivalence.
+
+PWR must reproduce PW's pw-result distribution *exactly* (same results,
+same probabilities) on every database, complete or not -- this is the
+strongest internal-consistency check in the quality layer.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.pw import compute_quality_pw
+from repro.core.pwr import (
+    ResultLimitExceeded,
+    compute_quality_pwr,
+    iter_pw_results,
+)
+from repro.datasets.paper import UDB1_TOP2_QUALITY, UDB2_TOP2_QUALITY
+from repro.db.database import ProbabilisticDatabase
+from repro.db.tuples import make_xtuple
+from repro.queries.brute_force import pw_result_distribution
+
+from conftest import databases_with_k
+
+ABS = 1e-9
+
+
+class TestPaperVectors:
+    def test_udb1_quality_and_result_count(self, udb1):
+        result = compute_quality_pw(udb1.ranked(), 2)
+        assert result.quality == pytest.approx(UDB1_TOP2_QUALITY)
+        assert result.quality == pytest.approx(-2.55, abs=0.005)
+        assert result.num_results == 7  # Figure 2
+
+    def test_udb2_quality_and_result_count(self, udb2):
+        result = compute_quality_pw(udb2.ranked(), 2)
+        assert result.quality == pytest.approx(UDB2_TOP2_QUALITY)
+        assert result.quality == pytest.approx(-1.85, abs=0.005)
+        assert result.num_results == 4  # Figure 3
+
+    def test_cleaning_improves_quality(self, udb1, udb2):
+        # The paper's motivating observation: udb2 is less ambiguous.
+        q1 = compute_quality_pw(udb1.ranked(), 2).quality
+        q2 = compute_quality_pw(udb2.ranked(), 2).quality
+        assert q2 > q1
+
+    def test_lemma1_example_result_probability(self, udb1):
+        # Pr((t1, t2)) = 0.112 + 0.168 = 0.28 (paper Section III-B).
+        distribution = compute_quality_pwr(
+            udb1.ranked(), 2, collect=True
+        ).distribution
+        assert distribution[("t1", "t2")] == pytest.approx(0.28)
+
+    def test_figure2_distribution(self, udb1):
+        distribution = compute_quality_pwr(
+            udb1.ranked(), 2, collect=True
+        ).distribution
+        expected = {
+            ("t2", "t6"): 0.168,
+            ("t2", "t5"): 0.252,
+            ("t6", "t4"): 0.072,
+            ("t5", "t6"): 0.108,
+            ("t1", "t2"): 0.28,
+            ("t1", "t6"): 0.048,
+            ("t1", "t5"): 0.072,
+        }
+        assert set(distribution) == set(expected)
+        for key, probability in expected.items():
+            assert distribution[key] == pytest.approx(probability)
+
+    def test_figure3_distribution(self, udb2):
+        distribution = compute_quality_pwr(
+            udb2.ranked(), 2, collect=True
+        ).distribution
+        expected = {
+            ("t2", "t5"): 0.42,
+            ("t5", "t6"): 0.18,
+            ("t1", "t2"): 0.28,
+            ("t1", "t5"): 0.12,
+        }
+        assert set(distribution) == set(expected)
+        for key, probability in expected.items():
+            assert distribution[key] == pytest.approx(probability)
+
+
+class TestPWRMechanics:
+    def test_max_results_cap(self, udb1):
+        with pytest.raises(ResultLimitExceeded):
+            compute_quality_pwr(udb1.ranked(), 2, max_results=3)
+
+    def test_no_distribution_unless_collected(self, udb1):
+        result = compute_quality_pwr(udb1.ranked(), 2)
+        assert result.distribution is None
+        assert result.num_results == 7
+
+    def test_pw_max_worlds_cap(self, udb1):
+        with pytest.raises(ValueError):
+            compute_quality_pw(udb1.ranked(), 2, max_worlds=4)
+
+    def test_short_results_on_incomplete_database(self):
+        db = ProbabilisticDatabase(
+            [
+                make_xtuple("a", [("t0", 2.0, 0.5)]),
+                make_xtuple("b", [("t1", 1.0, 0.5)]),
+            ]
+        )
+        distribution = compute_quality_pwr(
+            db.ranked(), 2, collect=True
+        ).distribution
+        # Worlds: both (0.25) -> (t0,t1); only t0 -> (t0,); only t1 ->
+        # (t1,); neither -> ().
+        assert distribution[("t0", "t1")] == pytest.approx(0.25)
+        assert distribution[("t0",)] == pytest.approx(0.25)
+        assert distribution[("t1",)] == pytest.approx(0.25)
+        assert distribution[()] == pytest.approx(0.25)
+
+    def test_forced_existence_prunes_zero_branches(self):
+        # Complete x-tuple: its last member is forced to exist when no
+        # sibling does; PWR must not emit zero-probability results.
+        db = ProbabilisticDatabase(
+            [
+                make_xtuple("a", [("hi", 10.0, 0.5), ("lo", 1.0, 0.5)]),
+                make_xtuple("b", [("mid", 5.0, 1.0)]),
+            ]
+        )
+        results = dict(iter_pw_results(db.ranked(), 2))
+        assert all(p > 0.0 for p in results.values())
+        assert set(results) == {("hi", "mid"), ("mid", "lo")}
+
+    def test_results_unique(self, udb1):
+        seen = list(iter_pw_results(udb1.ranked(), 2))
+        keys = [r for r, _ in seen]
+        assert len(keys) == len(set(keys))
+
+
+class TestEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(databases_with_k())
+    def test_pwr_matches_bruteforce_distribution(self, db_k):
+        db, k = db_k
+        ranked = db.ranked()
+        expected = pw_result_distribution(ranked, k)
+        got = compute_quality_pwr(ranked, k, collect=True).distribution
+        assert set(got) == set(expected)
+        for key, probability in expected.items():
+            assert got[key] == pytest.approx(probability, abs=ABS)
+
+    @settings(max_examples=80, deadline=None)
+    @given(databases_with_k())
+    def test_pwr_quality_matches_pw(self, db_k):
+        db, k = db_k
+        ranked = db.ranked()
+        assert compute_quality_pwr(ranked, k).quality == pytest.approx(
+            compute_quality_pw(ranked, k).quality, abs=ABS
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(databases_with_k())
+    def test_probabilities_sum_to_one(self, db_k):
+        db, k = db_k
+        total = math.fsum(
+            p for _, p in iter_pw_results(db.ranked(), k)
+        )
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(databases_with_k())
+    def test_quality_bounds(self, db_k):
+        db, k = db_k
+        result = compute_quality_pwr(db.ranked(), k)
+        assert result.quality <= 1e-12
+        assert result.quality >= -math.log2(max(result.num_results, 1)) - 1e-9

@@ -1,0 +1,171 @@
+"""Range-query quality and cleaning (the [16] lineage, extension)."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning.dp import DPCleaner
+from repro.cleaning.greedy import GreedyCleaner
+from repro.cleaning.improvement import expected_improvement, success_probability
+from repro.cleaning.model import CleaningPlan
+from repro.exceptions import InvalidQueryError
+from repro.queries.range_query import (
+    answer_range_query,
+    build_range_cleaning_problem,
+    compute_quality_range,
+    compute_quality_range_bruteforce,
+)
+
+from conftest import databases
+
+
+class TestAnswer:
+    def test_udb1_range(self, udb1):
+        answer = answer_range_query(udb1, 25.0, 30.0)
+        # Values in [25, 30]: t2 (30), t4 (25), t5 (27), t6 (26).
+        assert set(answer.tids) == {"t2", "t4", "t5", "t6"}
+        probabilities = dict(answer.members)
+        assert probabilities["t2"] == 0.7
+        assert probabilities["t6"] == 1.0
+        assert "t2" in answer
+        assert "t0" not in answer
+        assert len(answer) == 4
+
+    def test_empty_range(self, udb1):
+        assert len(answer_range_query(udb1, 100.0, 200.0)) == 0
+
+    def test_invalid_bounds_rejected(self, udb1):
+        with pytest.raises(InvalidQueryError):
+            answer_range_query(udb1, 5.0, 1.0)
+        with pytest.raises(InvalidQueryError):
+            compute_quality_range(udb1, float("nan"), 1.0)
+
+
+class TestQuality:
+    def test_udb1_closed_form_matches_bruteforce(self, udb1):
+        result = compute_quality_range(udb1, 25.0, 30.0)
+        brute = compute_quality_range_bruteforce(udb1, 25.0, 30.0)
+        assert result.quality == pytest.approx(brute, abs=1e-9)
+
+    def test_certain_in_range_entity_contributes_zero(self, udb1):
+        result = compute_quality_range(udb1, 25.0, 30.0)
+        g = dict(zip((xt.xid for xt in udb1.xtuples), result.g_by_xtuple))
+        assert g["S4"] == 0.0  # t6 certain and in range: no ambiguity
+
+    def test_entity_fully_outside_range_contributes_zero(self, udb1):
+        result = compute_quality_range(udb1, 24.0, 28.0)
+        g = dict(zip((xt.xid for xt in udb1.xtuples), result.g_by_xtuple))
+        assert g["S2"] == 0.0  # t2 (30) and t3 (22) both outside
+
+    def test_g_values_sum_to_quality(self, udb1):
+        result = compute_quality_range(udb1, 20.0, 31.0)
+        assert math.fsum(result.g_by_xtuple) == pytest.approx(
+            result.quality, abs=1e-12
+        )
+
+    def test_whole_domain_range_measures_entity_entropy(self, udb1):
+        # Range covering everything: each complete x-tuple contributes
+        # the negated entropy of its alternatives.
+        result = compute_quality_range(udb1, -1e9, 1e9)
+        g = dict(zip((xt.xid for xt in udb1.xtuples), result.g_by_xtuple))
+        expected_s1 = 0.6 * math.log2(0.6) + 0.4 * math.log2(0.4)
+        assert g["S1"] == pytest.approx(expected_s1)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        databases(),
+        st.floats(min_value=-1.0, max_value=13.0),
+        st.floats(min_value=0.0, max_value=14.0),
+    )
+    def test_closed_form_matches_bruteforce_random(self, db, low, width):
+        high = low + width
+        assert compute_quality_range(db, low, high).quality == pytest.approx(
+            compute_quality_range_bruteforce(db, low, high), abs=1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(databases())
+    def test_quality_nonpositive_and_bounded(self, db):
+        result = compute_quality_range(db, 0.0, 12.0)
+        assert result.quality <= 1e-12
+        for g, mass in zip(result.g_by_xtuple, result.in_range_mass_by_xtuple):
+            assert g <= 1e-12
+            assert -1e-9 <= mass <= 1.0 + 1e-9
+
+
+class TestRangeCleaning:
+    def _problem(self, udb1, budget=4):
+        costs = {"S1": 1, "S2": 1, "S3": 1, "S4": 1}
+        sc = {"S1": 0.5, "S2": 0.5, "S3": 0.5, "S4": 0.5}
+        return build_range_cleaning_problem(udb1, 25.0, 30.0, costs, sc, budget)
+
+    def test_candidates_exclude_unambiguous_entities(self, udb1):
+        problem = self._problem(udb1)
+        names = {problem.xtuple_id(l) for l in problem.candidate_indices()}
+        # S4 certain, S2 has zero g in [24, 28]... here range [25, 30]:
+        # S2 contributes (t2 in range), S4 certain-in-range -> excluded.
+        assert "S4" not in names
+        assert {"S1", "S2", "S3"} >= names
+        assert "S3" in names
+
+    def test_theorem2_analog_matches_outcome_enumeration(self, udb1):
+        """Cleaning τ_l zeroes g_l on success; the closed-form expected
+        improvement must equal the explicit outcome average."""
+        problem = self._problem(udb1)
+        plan = CleaningPlan(operations={"S3": 2})
+        fast = expected_improvement(problem, plan)
+
+        s3 = udb1.xtuple("S3")
+        p_success = success_probability(0.5, 2)
+        before = compute_quality_range(udb1, 25.0, 30.0).quality
+        expected_after = (1 - p_success) * before
+        for t in s3.alternatives:
+            cleaned = udb1.with_xtuple_replaced("S3", s3.collapsed_to(t.tid))
+            expected_after += (
+                p_success
+                * t.probability
+                * compute_quality_range(cleaned, 25.0, 30.0).quality
+            )
+        assert fast == pytest.approx(expected_after - before, abs=1e-9)
+
+    def test_planners_work_on_range_problems(self, udb1):
+        problem = self._problem(udb1, budget=3)
+        for planner in (DPCleaner(), GreedyCleaner()):
+            plan = planner.plan(problem)
+            assert plan.is_feasible(problem)
+            assert expected_improvement(problem, plan) > 0.0
+
+    def test_dp_optimal_on_range_problem(self, udb1):
+        problem = self._problem(udb1, budget=3)
+        candidates = problem.candidate_indices()
+        best = 0.0
+        ranges = [range(problem.max_operations(l) + 1) for l in candidates]
+        for combo in itertools.product(*ranges):
+            cost = sum(
+                problem.costs[l] * m for l, m in zip(candidates, combo)
+            )
+            if cost > problem.budget:
+                continue
+            plan = CleaningPlan(
+                operations={
+                    problem.xtuple_id(l): m
+                    for l, m in zip(candidates, combo)
+                    if m > 0
+                }
+            )
+            best = max(best, expected_improvement(problem, plan))
+        dp_value = expected_improvement(problem, DPCleaner().plan(problem))
+        assert dp_value == pytest.approx(best, abs=1e-9)
+
+    def test_mapping_validation(self, udb1):
+        with pytest.raises(InvalidQueryError):
+            build_range_cleaning_problem(
+                udb1, 25.0, 30.0, {"S1": 1}, {"S1": 0.5}, 4
+            )
+        with pytest.raises(InvalidQueryError):
+            build_range_cleaning_problem(
+                udb1, 25.0, 30.0, [1, 1], [0.5, 0.5, 0.5, 0.5], 4
+            )

@@ -1,0 +1,48 @@
+"""Unit tests for ranking functions (repro.db.ranking)."""
+
+import pytest
+
+from repro.db.ranking import by_key, by_sum_of_keys, by_value, custom
+from repro.db.tuples import ProbabilisticTuple
+
+
+def _tuple(value):
+    return ProbabilisticTuple("t", "x", value, 0.5)
+
+
+class TestByValue:
+    def test_scores_numeric_value(self):
+        assert by_value()(_tuple(21.0)) == 21.0
+
+    def test_coerces_ints(self):
+        assert by_value()(_tuple(3)) == 3.0
+
+    def test_name(self):
+        assert by_value().name == "by_value"
+
+
+class TestByKey:
+    def test_extracts_mapping_entry(self):
+        t = _tuple({"rating": 0.75, "date": 0.5})
+        assert by_key("rating")(t) == 0.75
+
+    def test_missing_key_raises(self):
+        t = _tuple({"rating": 0.75})
+        with pytest.raises(KeyError):
+            by_key("date")(t)
+
+
+class TestBySumOfKeys:
+    def test_mov_score(self):
+        t = _tuple({"rating": 0.75, "date": 0.5, "movie_id": 3})
+        assert by_sum_of_keys("date", "rating")(t) == pytest.approx(1.25)
+
+    def test_name_lists_keys(self):
+        assert "date" in by_sum_of_keys("date", "rating").name
+
+
+class TestCustom:
+    def test_wraps_callable(self):
+        ranking = custom(lambda t: -float(t.value), name="neg")
+        assert ranking(_tuple(4.0)) == -4.0
+        assert ranking.name == "neg"
