@@ -1,4 +1,7 @@
-"""Setuptools shim for legacy editable installs (offline environment)."""
+"""Setuptools shim for legacy editable installs (offline environment).
+
+All packaging metadata lives in ``pyproject.toml``.
+"""
 
 from setuptools import setup
 

@@ -46,6 +46,9 @@ from repro.core import (
     compute_quality_pw,
     compute_quality_pwr,
     compute_quality_tp,
+    current_backend,
+    set_backend,
+    use_backend,
 )
 from repro.db import (
     ProbabilisticDatabase,
@@ -65,12 +68,13 @@ from repro.exceptions import (
 )
 from repro.queries import (
     EvaluationReport,
+    QuerySession,
     compute_rank_probabilities,
     evaluate,
     evaluate_without_sharing,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -92,7 +96,12 @@ __all__ = [
     "evaluate",
     "evaluate_without_sharing",
     "EvaluationReport",
+    "QuerySession",
     "compute_rank_probabilities",
+    # backends
+    "current_backend",
+    "set_backend",
+    "use_backend",
     # quality
     "compute_quality",
     "compute_quality_detailed",

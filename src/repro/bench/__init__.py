@@ -8,6 +8,7 @@ the ``REPRO_BENCH_SCALE`` environment variable
 
 from repro.bench.harness import SCALES, BenchScale, Table, current_scale, time_call
 from repro.bench.figures import ALL_FIGURES
+from repro.bench.perf import perf_snapshot, write_perf_snapshot
 
 __all__ = [
     "BenchScale",
@@ -16,4 +17,6 @@ __all__ = [
     "Table",
     "time_call",
     "ALL_FIGURES",
+    "perf_snapshot",
+    "write_perf_snapshot",
 ]

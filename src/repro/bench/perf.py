@@ -1,0 +1,166 @@
+"""Machine-readable performance snapshots (``run_all.py --json``).
+
+Emits a JSON document with the timings future PRs compare against:
+
+* ``psr``: time per PSR pass for both backends at
+  ``n ∈ {1k, 10k, 100k}`` tuples and ``k ∈ {15, 100}``, on an
+  *incomplete* synthetic database (completion 0.85) so Lemma 2's early
+  stop never truncates the scan -- every pass is a genuine O(kn)
+  sweep.  Includes the numpy-over-python speedup per point.
+* ``query_session``: cold-vs-warm evaluation through
+  :class:`~repro.queries.engine.QuerySession` -- the warm numbers are
+  pure answer extraction, demonstrating that repeated same-``k``
+  evaluations never re-run PSR.
+
+The pure-Python backend is skipped above ``PYTHON_BACKEND_MAX_TUPLES``
+tuples when ``--quick`` is requested; the full snapshot runs it
+everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.bench.harness import time_call
+from repro.core.backend import BACKENDS
+from repro.datasets.synthetic import generate_synthetic
+from repro.queries.engine import QuerySession
+from repro.queries.psr import compute_rank_probabilities
+
+#: Snapshot grid: total tuple counts and top-k parameters.
+SNAPSHOT_SIZES = (1_000, 10_000, 100_000)
+SNAPSHOT_KS = (15, 100)
+
+#: Bars per x-tuple in the snapshot database (n = m · bars).
+BARS = 10
+
+#: Completion probability of the snapshot database; < 1 disables the
+#: Lemma 2 early stop so the scan covers all n tuples.
+COMPLETION = 0.85
+
+#: --quick skips the python backend above this size (it is ~10s per
+#: pass at n = 100k; the numpy backend still covers the full grid).
+PYTHON_BACKEND_MAX_TUPLES = 10_000
+
+DB_SEED = 7
+
+
+def _snapshot_ranked(num_tuples: int):
+    db = generate_synthetic(
+        num_xtuples=num_tuples // BARS,
+        completion=COMPLETION,
+        seed=DB_SEED,
+    )
+    return db.ranked()
+
+
+def psr_snapshot(
+    sizes=SNAPSHOT_SIZES,
+    ks=SNAPSHOT_KS,
+    repeats: int = 3,
+    quick: bool = False,
+) -> List[Dict]:
+    """Per-point PSR pass timings for both backends."""
+    points: List[Dict] = []
+    for size in sizes:
+        ranked = _snapshot_ranked(size)
+        for k in ks:
+            point: Dict = {"n": ranked.num_tuples, "k": k}
+            for backend in BACKENDS:
+                if (
+                    backend == "python"
+                    and quick
+                    and ranked.num_tuples > PYTHON_BACKEND_MAX_TUPLES
+                ):
+                    point[f"{backend}_ms"] = None
+                    continue
+                point[f"{backend}_ms"] = time_call(
+                    lambda: compute_rank_probabilities(ranked, k, backend=backend),
+                    repeats=repeats,
+                    time_budget_s=30.0,
+                )
+            if point.get("python_ms") and point.get("numpy_ms"):
+                point["speedup"] = point["python_ms"] / point["numpy_ms"]
+            points.append(point)
+    return points
+
+
+def query_session_snapshot(
+    size: int = 10_000, k: int = 100, repeats: int = 5
+) -> Dict:
+    """Cold vs warm full evaluation through a QuerySession."""
+    ranked = _snapshot_ranked(size)
+
+    def cold():
+        QuerySession(ranked).evaluate(k)
+
+    cold_ms = time_call(cold, repeats=repeats, time_budget_s=30.0)
+
+    session = QuerySession(ranked)
+    session.evaluate(k)  # warm the cache
+    start = time.perf_counter()
+    rounds = 0
+    while time.perf_counter() - start < 0.5:
+        session.evaluate(k)
+        rounds += 1
+    warm_ms = (time.perf_counter() - start) * 1000.0 / rounds
+    return {
+        "n": ranked.num_tuples,
+        "k": k,
+        "cold_eval_ms": cold_ms,
+        "warm_eval_ms": warm_ms,
+        "warm_is_answer_extraction_only": session.psr_misses == 1,
+        "psr_cache_hits": session.psr_hits,
+    }
+
+
+def perf_snapshot(quick: bool = False) -> Dict:
+    """The full snapshot document."""
+    return {
+        "schema": "repro-perf-snapshot/1",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "workload": {
+            "generator": "synthetic",
+            "bars_per_xtuple": BARS,
+            "completion": COMPLETION,
+            "seed": DB_SEED,
+        },
+        "psr": psr_snapshot(quick=quick),
+        "query_session": query_session_snapshot(),
+    }
+
+
+def write_perf_snapshot(path, quick: bool = False) -> Dict:
+    """Compute the snapshot and write it to ``path`` as JSON."""
+    snapshot = perf_snapshot(quick=quick)
+    Path(path).write_text(json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
+    return snapshot
+
+
+def format_snapshot(snapshot: Dict) -> str:
+    """Human-readable rendering of the JSON document."""
+    lines = ["# PSR pass (ms; numpy vs python backend)"]
+    for point in snapshot["psr"]:
+        python_ms = point.get("python_ms")
+        python_text = f"{python_ms:9.1f}" if python_ms is not None else "        -"
+        speedup = point.get("speedup")
+        speedup_text = f"  ({speedup:.1f}x)" if speedup else ""
+        lines.append(
+            f"n={point['n']:>7}  k={point['k']:>3}: "
+            f"python {python_text}  numpy {point['numpy_ms']:9.1f}"
+            f"{speedup_text}"
+        )
+    qs = snapshot["query_session"]
+    lines.append("# QuerySession (cold vs warm full evaluation)")
+    lines.append(
+        f"n={qs['n']}  k={qs['k']}: cold {qs['cold_eval_ms']:.1f} ms, "
+        f"warm {qs['warm_eval_ms']:.3f} ms "
+        f"(PSR cache hits: {qs['psr_cache_hits']})"
+    )
+    return "\n".join(lines)

@@ -24,8 +24,8 @@ from typing import List, Optional, Tuple
 from repro.cleaning.base import Cleaner
 from repro.cleaning.executor import CleaningOutcome, execute_plan
 from repro.cleaning.model import CleaningProblem, build_cleaning_problem
-from repro.core.tp import compute_quality_tp
 from repro.db.database import ProbabilisticDatabase
+from repro.queries.engine import QuerySession
 
 
 @dataclass(frozen=True)
@@ -64,8 +64,15 @@ def clean_adaptively(
     planner: Cleaner,
     rng: Optional[random.Random] = None,
     max_rounds: int = 100,
+    session: Optional[QuerySession] = None,
 ) -> AdaptiveCleaningResult:
     """Run the plan/execute/re-plan loop until the budget is spent.
+
+    Each round works through a :class:`QuerySession` derived from the
+    previous round's outcome, so quality re-evaluation only pays for a
+    fresh PSR pass when the database actually changed -- an
+    all-failures round (or a caller-provided warm session over ``db``)
+    is served entirely from cache.
 
     Parameters
     ----------
@@ -81,6 +88,9 @@ def clean_adaptively(
         Randomness for probe outcomes (fixed seed by default).
     max_rounds:
         Hard stop against pathological zero-spend cycles.
+    session:
+        Optional warm query session over ``db`` (same ranking as the
+        problem's view); reused for the initial quality evaluation.
     """
     rng = rng or random.Random(0)
     ranking = problem.ranked.ranking
@@ -95,16 +105,23 @@ def clean_adaptively(
         for l in range(problem.num_xtuples)
     }
 
+    if session is None:
+        session = QuerySession(db, ranking=ranking)
+    elif session.ranked.db is not db or session.ranked.ranking is not ranking:
+        raise ValueError(
+            "the provided session must be over the database being cleaned, "
+            "under the problem's ranking"
+        )
     current_db = db
     remaining = problem.budget
     rounds: List[AdaptiveRound] = []
-    initial_quality = compute_quality_tp(db.ranked(ranking), k).quality
+    initial_quality = session.quality(k).quality
     current_quality = initial_quality
 
     for round_index in range(max_rounds):
         if remaining <= 0:
             break
-        quality = compute_quality_tp(current_db.ranked(ranking), k)
+        quality = session.quality(k)
         current_quality = quality.quality
         round_problem = build_cleaning_problem(
             quality,
@@ -117,7 +134,9 @@ def clean_adaptively(
         plan = planner.plan(round_problem)
         if not plan.operations:
             break
-        outcome = execute_plan(current_db, round_problem, plan, rng=rng)
+        outcome = execute_plan(
+            current_db, round_problem, plan, rng=rng, session=session
+        )
         rounds.append(
             AdaptiveRound(
                 round_index=round_index,
@@ -130,8 +149,9 @@ def clean_adaptively(
             break
         remaining -= outcome.cost_spent
         current_db = outcome.cleaned_db
+        session = outcome.session
 
-    final_quality = compute_quality_tp(current_db.ranked(ranking), k).quality
+    final_quality = session.derive(current_db).quality(k).quality
     return AdaptiveCleaningResult(
         final_db=current_db,
         rounds=tuple(rounds),

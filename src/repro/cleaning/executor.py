@@ -17,11 +17,12 @@ from the cleaned database (it is now certain to contribute nothing).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.cleaning.model import CleaningPlan, CleaningProblem
 from repro.db.database import ProbabilisticDatabase
+from repro.queries.engine import QuerySession
 
 
 @dataclass(frozen=True)
@@ -43,12 +44,20 @@ class ProbeRecord:
 
 @dataclass(frozen=True)
 class CleaningOutcome:
-    """Result of executing a plan against a database."""
+    """Result of executing a plan against a database.
+
+    When the caller passed a :class:`~repro.queries.engine.QuerySession`
+    to :func:`execute_plan`, ``session`` is a session over
+    ``cleaned_db`` derived from it -- the *same* session object (cache
+    intact) when no probe changed the database, so re-evaluating the
+    quality after an all-failure round costs no new PSR pass.
+    """
 
     cleaned_db: ProbabilisticDatabase
     records: Tuple[ProbeRecord, ...]
     cost_assigned: int
     cost_spent: int
+    session: Optional[QuerySession] = field(default=None, compare=False)
 
     @property
     def cost_saved(self) -> int:
@@ -65,6 +74,7 @@ def execute_plan(
     problem: CleaningProblem,
     plan: CleaningPlan,
     rng: Optional[random.Random] = None,
+    session: Optional[QuerySession] = None,
 ) -> CleaningOutcome:
     """Simulate the cleaning agent executing ``plan`` on ``db``.
 
@@ -80,6 +90,11 @@ def execute_plan(
     rng:
         Randomness source; defaults to a fixed-seed generator so
         simulations are reproducible by default.
+    session:
+        Optional query session over ``db``; when given, the outcome
+        carries ``session.derive(cleaned_db)`` so downstream
+        re-evaluation reuses cached rank-probability state whenever
+        possible.
     """
     rng = rng or random.Random(0)
     records: List[ProbeRecord] = []
@@ -142,4 +157,5 @@ def execute_plan(
         records=tuple(records),
         cost_assigned=cost_assigned,
         cost_spent=cost_spent,
+        session=session.derive(cleaned) if session is not None else None,
     )

@@ -20,6 +20,8 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from repro.cleaning.improvement import marginal_gain
 from repro.cleaning.model import CleaningPlan, CleaningProblem
 
@@ -37,14 +39,24 @@ class GreedyCleaner:
         """Take probe items by expected improvement per budget unit."""
         remaining = problem.budget
         counts: Dict[int, int] = {}
+        # Seed scores vectorized over the candidate set: the first
+        # probe of x-tuple l has gain b(l, D, 1) = -P_l·g(l, D).
+        candidates = np.array(problem.candidate_indices(), dtype=np.int64)
         # Heap of (-γ, l, j): the pending j-th probe of x-tuple l.
         heap: List[Tuple[float, int, int]] = []
-        for l in problem.candidate_indices():
-            gain = marginal_gain(
-                problem.sc_probabilities[l], problem.g_by_xtuple[l], 1
+        if candidates.size:
+            gains = -(
+                problem.sc_array[candidates] * problem.g_array[candidates]
             )
-            if gain > GAIN_FLOOR:
-                heapq.heappush(heap, (-gain / problem.costs[l], l, 1))
+            scores = gains / problem.costs_array[candidates]
+            keep = gains > GAIN_FLOOR
+            heap = [
+                (-score, int(l), 1)
+                for score, l in zip(
+                    scores[keep].tolist(), candidates[keep].tolist()
+                )
+            ]
+            heapq.heapify(heap)
 
         while heap and remaining > 0:
             neg_score, l, j = heapq.heappop(heap)

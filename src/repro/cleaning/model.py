@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterable, List, Mapping, Tuple, Union
+
+import numpy as np
 
 from repro.core.tp import TPQualityResult
 from repro.db.database import RankedDatabase
@@ -121,11 +124,45 @@ class CleaningProblem:
         return self.ranked.xtuple_ids[l]
 
     def xtuple_index(self, xid: str) -> int:
-        """Dense index of the x-tuple with identifier ``xid``."""
+        """Dense index of the x-tuple with identifier ``xid`` (O(1))."""
+        from repro.exceptions import InvalidDatabaseError
+
         try:
-            return self.ranked.xtuple_ids.index(xid)
-        except ValueError:
+            return self.ranked.xtuple_index_of(xid)
+        except InvalidDatabaseError:
             raise InvalidCleaningProblemError(f"unknown x-tuple id {xid!r}") from None
+
+    # ------------------------------------------------------------------
+    # Columnar views (cached; frozen dataclasses still allow
+    # cached_property because it writes to __dict__ directly)
+    # ------------------------------------------------------------------
+    @cached_property
+    def g_array(self) -> np.ndarray:
+        """``g(l, D)`` as a float64 array."""
+        return np.array(self.g_by_xtuple, dtype=np.float64)
+
+    @cached_property
+    def topk_mass_array(self) -> np.ndarray:
+        """Per-x-tuple top-k probability mass as a float64 array."""
+        return np.array(self.topk_mass_by_xtuple, dtype=np.float64)
+
+    @cached_property
+    def costs_array(self) -> np.ndarray:
+        """Probing costs as an int64 array."""
+        return np.array(self.costs, dtype=np.int64)
+
+    @cached_property
+    def sc_array(self) -> np.ndarray:
+        """sc-probabilities as a float64 array."""
+        return np.array(self.sc_probabilities, dtype=np.float64)
+
+    @cached_property
+    def _candidate_mask(self) -> np.ndarray:
+        return (
+            (self.g_array < -G_TOLERANCE)
+            & (self.sc_array > SC_TOLERANCE)
+            & (self.costs_array <= self.budget)
+        )
 
     def candidate_indices(self) -> List[int]:
         """The candidate set ``Z``: x-tuples worth probing at all.
@@ -134,13 +171,7 @@ class CleaningProblem:
         expected quality: ``g(l, D) = 0`` (Lemma 5), zero
         sc-probability, or cost exceeding the whole budget.
         """
-        return [
-            l
-            for l in range(self.num_xtuples)
-            if self.g_by_xtuple[l] < -G_TOLERANCE
-            and self.sc_probabilities[l] > SC_TOLERANCE
-            and self.costs[l] <= self.budget
-        ]
+        return np.nonzero(self._candidate_mask)[0].tolist()
 
     def max_operations(self, l: int) -> int:
         """``J_l = floor(C / c_l)``: most probes of ``τ_l`` the budget allows."""

@@ -14,6 +14,12 @@ Three exact algorithms plus one estimator:
 :func:`~repro.core.quality.compute_quality` dispatches by name.
 """
 
+from repro.core.backend import (
+    BACKENDS,
+    current_backend,
+    set_backend,
+    use_backend,
+)
 from repro.core.entropy import entropy, negated_entropy, xlog2x
 from repro.core.montecarlo import MonteCarloQualityResult, compute_quality_montecarlo
 from repro.core.pw import PWQualityResult, compute_quality_pw
@@ -50,4 +56,8 @@ __all__ = [
     "xlog2x",
     "entropy",
     "negated_entropy",
+    "BACKENDS",
+    "current_backend",
+    "set_backend",
+    "use_backend",
 ]

@@ -27,6 +27,17 @@ def xlog2x(x: float) -> float:
     return x * math.log2(x)
 
 
+def xlog2x_array(values):
+    """Vectorized :func:`xlog2x` over a NumPy array (``Y(0) = 0``)."""
+    import numpy as np
+
+    positive = values > PROBABILITY_FLOOR
+    out = np.zeros_like(values)
+    safe = np.where(positive, values, 1.0)
+    out[positive] = (safe * np.log2(safe))[positive]
+    return out
+
+
 def negated_entropy(probabilities: Iterable[float]) -> float:
     """``Σ p·log2 p`` over the given probabilities (zero terms skipped).
 

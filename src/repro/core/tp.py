@@ -6,7 +6,12 @@ probability ``p_i`` with one PSR pass, computes the weights ``ω_i``
 what answers U-kRanks / PT-k / Global-topk, a caller who already
 evaluated a query can hand its :class:`RankProbabilities` in and pay
 only the (small) weight-summation overhead -- the computation sharing
-of Section IV-C and Figure 5.
+of Section IV-C and Figure 5.  :class:`repro.queries.engine.QuerySession`
+automates exactly that.
+
+On the NumPy backend the weight pass is a segmented cumulative sum, the
+quality a dot product, and the per-x-tuple aggregation ``g(l, D)`` a
+``bincount`` over the columnar arrays.
 
 Assumption inherited from Theorem 1: every possible world yields a
 full-length (size-``k``) result.  This holds whenever at least ``k``
@@ -18,9 +23,12 @@ Use :func:`short_result_probability` to check, or
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
+import numpy as np
+
+from repro.core.backend import resolve_backend
 from repro.core.weights import compute_weights
 from repro.db.database import RankedDatabase
 from repro.exceptions import InvalidQueryError
@@ -30,7 +38,7 @@ from repro.queries.psr import RankProbabilities, compute_rank_probabilities
 SUPPORT_TOLERANCE = 1e-9
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class TPQualityResult:
     """Output of the TP algorithm.
 
@@ -42,7 +50,19 @@ class TPQualityResult:
 
     quality: float
     rank_probabilities: RankProbabilities
-    weights_prefix: List[float]
+    weights_prefix: np.ndarray
+    backend: str = field(default="python")
+
+    def __eq__(self, other: object) -> bool:
+        # The weights array needs elementwise comparison; the dataclass
+        # default would raise on it.
+        if not isinstance(other, TPQualityResult):
+            return NotImplemented
+        return (
+            self.quality == other.quality
+            and self.rank_probabilities == other.rank_probabilities
+            and np.array_equal(self.weights_prefix, other.weights_prefix)
+        )
 
     @property
     def k(self) -> int:
@@ -52,6 +72,15 @@ class TPQualityResult:
     def ranked(self) -> RankedDatabase:
         return self.rank_probabilities.ranked
 
+    def g_by_xtuple_array(self) -> np.ndarray:
+        """``g(l, D)`` per x-tuple as a float64 array (database order)."""
+        rp = self.rank_probabilities
+        return np.bincount(
+            self.ranked.xtuple_indices_array[: rp.cutoff],
+            weights=np.asarray(self.weights_prefix) * rp.topk_prefix,
+            minlength=self.ranked.num_xtuples,
+        )
+
     def g_by_xtuple(self) -> List[float]:
         """``g(l, D) = Σ_{t_i∈τ_l} ω_i·p_i`` for every x-tuple.
 
@@ -59,10 +88,13 @@ class TPQualityResult:
         successfully removes exactly ``g(l, D)`` from it (Theorem 2).
         Indexed by the database's x-tuple order.
         """
+        if self.backend == "numpy":
+            return self.g_by_xtuple_array().tolist()
         rp = self.rank_probabilities
         g = [0.0] * self.ranked.num_xtuples
+        xtuple_indices = self.ranked.xtuple_indices
         for i in range(rp.cutoff):
-            g[self.ranked.xtuple_indices[i]] += (
+            g[xtuple_indices[i]] += float(
                 self.weights_prefix[i] * rp.topk_prefix[i]
             )
         return g
@@ -79,6 +111,7 @@ def compute_quality_tp(
     k: int,
     rank_probabilities: Optional[RankProbabilities] = None,
     check_support: bool = False,
+    backend: Optional[str] = None,
 ) -> TPQualityResult:
     """Run TP: PSR (unless shared), weights, weighted sum.
 
@@ -95,9 +128,13 @@ def compute_quality_tp(
         When true, verify Theorem 1's full-length-result assumption and
         raise :class:`~repro.exceptions.InvalidQueryError` if short
         results are possible.
+    backend:
+        Kernel selection (``"numpy"`` or ``"python"``); defaults to the
+        process-wide backend from :mod:`repro.core.backend`.
     """
+    resolved = resolve_backend(backend)
     if rank_probabilities is None:
-        rank_probabilities = compute_rank_probabilities(ranked, k)
+        rank_probabilities = compute_rank_probabilities(ranked, k, backend=resolved)
     else:
         if rank_probabilities.k != k:
             raise InvalidQueryError(
@@ -116,12 +153,21 @@ def compute_quality_tp(
                 f"probability {shortfall:.3g}; Theorem 1 (TP) does not "
                 f"apply -- use PWR or PW instead"
             )
-    weights = compute_weights(ranked, upto=rank_probabilities.cutoff)
-    quality = math.fsum(
-        w * p for w, p in zip(weights, rank_probabilities.topk_prefix)
+    weights = compute_weights(
+        ranked, upto=rank_probabilities.cutoff, backend=resolved
     )
+    if resolved == "numpy":
+        quality = float(weights @ rank_probabilities.topk_prefix)
+    else:
+        quality = math.fsum(
+            w * p
+            for w, p in zip(
+                weights.tolist(), rank_probabilities.topk_prefix.tolist()
+            )
+        )
     return TPQualityResult(
         quality=quality,
         rank_probabilities=rank_probabilities,
         weights_prefix=weights,
+        backend=resolved,
     )

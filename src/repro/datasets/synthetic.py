@@ -46,6 +46,12 @@ class SyntheticConfig:
     sigma: float = 100.0
     #: ``"gaussian"`` or ``"uniform"``.
     uncertainty: str = "gaussian"
+    #: Probability that an x-tuple produces a real reading at all; bar
+    #: masses are normalized to this total, so values < 1 leave genuine
+    #: null mass (a sensor that may miss its reading).  Incomplete
+    #: databases never trigger Lemma 2's early stop, which makes them
+    #: the honest workload for full-scan PSR benchmarks.
+    completion: float = 1.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -60,6 +66,8 @@ class SyntheticConfig:
             )
         if self.uncertainty == "gaussian" and self.sigma <= 0.0:
             raise ValueError("sigma must be positive for gaussian uncertainty")
+        if not 0.0 < self.completion <= 1.0:
+            raise ValueError("completion must lie in (0, 1]")
 
 
 def _gaussian_cdf(x: float, mu: float, sigma: float) -> float:
@@ -88,11 +96,11 @@ def _bar_masses(
         # Degenerate σ (all mass outside float resolution): fall back
         # to a point mass on the bar containing μ.
         closest = min(raw, key=lambda bar: abs(bar[0] - mu))
-        return ((closest[0], 1.0),)
+        return ((closest[0], config.completion),)
     kept = [
         (mid, mass / total) for mid, mass in raw if mass / total > MASS_FLOOR
     ]
-    renorm = math.fsum(mass for _, mass in kept)
+    renorm = math.fsum(mass for _, mass in kept) / config.completion
     return tuple((mid, mass / renorm) for mid, mass in kept)
 
 
@@ -132,6 +140,7 @@ def generate_synthetic(
         f"synthetic(m={config.num_xtuples}, "
         f"{config.uncertainty}"
         + (f", sigma={config.sigma:g}" if config.uncertainty == "gaussian" else "")
+        + (f", completion={config.completion:g}" if config.completion < 1.0 else "")
         + ")"
     )
     return ProbabilisticDatabase(xtuples, name=label)

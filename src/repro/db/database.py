@@ -4,17 +4,26 @@
 paper).  The quality and cleaning algorithms never consume the raw
 database directly; they consume a :class:`RankedDatabase` -- the
 database's tuples pre-sorted in descending rank order under a chosen
-ranking function, together with flat arrays (probabilities, x-tuple
-indices) that make the dynamic programs cache-friendly.  This mirrors
-the paper's standing assumption that "tuples in D are arranged in
-descending order of ranks" (Section IV) while paying the sort exactly
-once per (database, ranking) pair.
+ranking function.  This mirrors the paper's standing assumption that
+"tuples in D are arranged in descending order of ranks" (Section IV)
+while paying the sort exactly once per (database, ranking) pair.
+
+The ranked view's canonical storage is *columnar*: contiguous
+``float64`` / ``int64`` NumPy arrays (``probabilities_array``,
+``xtuple_indices_array``, ``scores_array``, ``completion_array``) that
+the vectorized kernels consume directly.  The historical list
+attributes (``probabilities``, ``xtuple_indices``, ``scores``,
+``completion``) survive as lazily materialized views of those arrays,
+so scalar code -- including the pure-Python reference backend -- keeps
+working unchanged.
 """
 
 from __future__ import annotations
 
 import math
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.db.ranking import RankingFunction, by_value
 from repro.db.tuples import ProbabilisticTuple, XTuple
@@ -162,44 +171,90 @@ class ProbabilisticDatabase:
 class RankedDatabase:
     """A database pre-sorted in descending rank order.
 
-    All the paper's algorithms assume this view.  Besides the sorted
-    tuple sequence, it exposes flat parallel arrays used by the dynamic
-    programs:
+    All the paper's algorithms assume this view.  Canonical storage is
+    columnar -- contiguous NumPy arrays consumed by the vectorized
+    kernels:
 
-    ``probabilities[i]``
+    ``probabilities_array[i]`` (float64)
         existential probability ``e_i`` of the i-th ranked tuple;
-    ``xtuple_indices[i]``
+    ``xtuple_indices_array[i]`` (int64)
         dense integer index of that tuple's x-tuple (``0 .. m-1``);
-    ``completion[l]``
+    ``scores_array[i]`` (float64)
+        the ranking score (descending, ties broken by insertion index);
+    ``completion_array[l]`` (float64)
         ``s_l`` -- the probability that x-tuple ``l`` produces a real
-        tuple;
-    ``scores[i]``
-        the ranking score (descending, ties broken by insertion index).
+        tuple.
+
+    The list attributes ``probabilities`` / ``xtuple_indices`` /
+    ``scores`` / ``completion`` are lazily built plain-Python views of
+    those arrays, kept for scalar consumers (and the reference
+    backend).
     """
 
     def __init__(self, db: ProbabilisticDatabase, ranking: RankingFunction) -> None:
         self.db = db
         self.ranking = ranking
-        decorated = [
-            (-ranking(t), db.insertion_index(t.tid), t) for t in db
-        ]
-        decorated.sort(key=lambda item: (item[0], item[1]))
-        self.order: List[ProbabilisticTuple] = [item[2] for item in decorated]
-        self.scores: List[float] = [-item[0] for item in decorated]
+        tuples = list(db)
+        raw_scores = np.array([ranking(t) for t in tuples], dtype=np.float64)
+        # Descending score, insertion order as the deterministic
+        # tie-break: lexsort's last key dominates.
+        insertion = np.arange(len(tuples), dtype=np.int64)
+        perm = np.lexsort((insertion, -raw_scores))
+        self.order: List[ProbabilisticTuple] = [tuples[i] for i in perm]
+        self.scores_array: np.ndarray = np.ascontiguousarray(raw_scores[perm])
         self.position: Dict[str, int] = {
             t.tid: i for i, t in enumerate(self.order)
         }
-        xid_to_index: Dict[str, int] = {
+        self._xid_to_index: Dict[str, int] = {
             xt.xid: l for l, xt in enumerate(db.xtuples)
         }
         self.xtuple_ids: List[str] = [xt.xid for xt in db.xtuples]
-        self.xtuple_indices: List[int] = [
-            xid_to_index[t.xtuple_id] for t in self.order
-        ]
-        self.probabilities: List[float] = [t.probability for t in self.order]
-        self.completion: List[float] = [
-            xt.completion_probability for xt in db.xtuples
-        ]
+        self.xtuple_indices_array: np.ndarray = np.array(
+            [self._xid_to_index[t.xtuple_id] for t in self.order],
+            dtype=np.int64,
+        )
+        self.probabilities_array: np.ndarray = np.array(
+            [t.probability for t in self.order], dtype=np.float64
+        )
+        self.completion_array: np.ndarray = np.array(
+            [xt.completion_probability for xt in db.xtuples], dtype=np.float64
+        )
+        # Lazily materialized list views of the canonical arrays.
+        self._scores_list: Optional[List[float]] = None
+        self._xtuple_indices_list: Optional[List[int]] = None
+        self._probabilities_list: Optional[List[float]] = None
+        self._completion_list: Optional[List[float]] = None
+
+    # ------------------------------------------------------------------
+    # List views (back-compat API over the canonical arrays)
+    # ------------------------------------------------------------------
+    @property
+    def scores(self) -> List[float]:
+        """Ranking scores as a plain list (view of ``scores_array``)."""
+        if self._scores_list is None:
+            self._scores_list = self.scores_array.tolist()
+        return self._scores_list
+
+    @property
+    def xtuple_indices(self) -> List[int]:
+        """Dense x-tuple indices as a plain list."""
+        if self._xtuple_indices_list is None:
+            self._xtuple_indices_list = self.xtuple_indices_array.tolist()
+        return self._xtuple_indices_list
+
+    @property
+    def probabilities(self) -> List[float]:
+        """Existential probabilities as a plain list."""
+        if self._probabilities_list is None:
+            self._probabilities_list = self.probabilities_array.tolist()
+        return self._probabilities_list
+
+    @property
+    def completion(self) -> List[float]:
+        """Per-x-tuple completion probabilities as a plain list."""
+        if self._completion_list is None:
+            self._completion_list = self.completion_array.tolist()
+        return self._completion_list
 
     @property
     def num_tuples(self) -> int:
@@ -215,6 +270,13 @@ class RankedDatabase:
     def rank_of(self, tid: str) -> int:
         """Zero-based rank position of tuple ``tid`` (0 = highest)."""
         return self.position[tid]
+
+    def xtuple_index_of(self, xid: str) -> int:
+        """Dense index of the x-tuple ``xid`` (O(1))."""
+        try:
+            return self._xid_to_index[xid]
+        except KeyError:
+            raise InvalidDatabaseError(f"unknown x-tuple id {xid!r}") from None
 
     def top(self, count: int) -> Sequence[ProbabilisticTuple]:
         """The ``count`` highest-ranked tuples of the whole database."""

@@ -17,7 +17,12 @@ from repro.queries.answers import (
     UkRanksAnswer,
     UTopkAnswer,
 )
-from repro.queries.engine import EvaluationReport, evaluate, evaluate_without_sharing
+from repro.queries.engine import (
+    EvaluationReport,
+    QuerySession,
+    evaluate,
+    evaluate_without_sharing,
+)
 from repro.queries.psr import RankProbabilities, compute_rank_probabilities
 from repro.queries.range_query import (
     RangeAnswer,
@@ -31,6 +36,7 @@ __all__ = [
     "RankProbabilities",
     "compute_rank_probabilities",
     "EvaluationReport",
+    "QuerySession",
     "evaluate",
     "evaluate_without_sharing",
     "UkRanksAnswer",

@@ -9,6 +9,8 @@ semantics' tie-breaking convention.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.db.database import RankedDatabase
 from repro.queries.answers import GlobalTopkAnswer
 from repro.queries.psr import RankProbabilities, compute_rank_probabilities
@@ -20,13 +22,14 @@ def answer_from_rank_probabilities(
     """Aggregate a Global-topk answer out of precomputed rank probabilities."""
     ranked = rank_probs.ranked
     k = rank_probs.k
-    candidates = [
-        (p, i) for i, p in enumerate(rank_probs.topk_prefix) if p > 0.0
-    ]
-    # Sort by probability descending, then by rank position ascending.
-    candidates.sort(key=lambda item: (-item[0], item[1]))
+    topk = rank_probs.topk_prefix
+    positions = np.nonzero(topk > 0.0)[0]
+    # Sort by probability descending, then by rank position ascending
+    # (lexsort's last key dominates; positions are already ascending,
+    # and the sort is stable over them).
+    order = np.lexsort((positions, -topk[positions]))[:k]
     members = tuple(
-        (ranked.order[i].tid, p) for p, i in candidates[:k]
+        (ranked.order[i].tid, float(topk[i])) for i in positions[order]
     )
     return GlobalTopkAnswer(k=k, members=members)
 

@@ -22,6 +22,23 @@ a Poisson-binomial evaluated lazily: we maintain the distribution over
 entries are ever needed, and they stay exact under capping) and divide
 out the current x-tuple's own factor.
 
+Backends
+--------
+Two kernels implement the scan behind a common entry point
+(:func:`compute_rank_probabilities`):
+
+* the **python** kernel below -- the scalar reference implementation,
+  kept for cross-validation;
+* the **numpy** kernel (:mod:`repro.queries.psr_numpy`) -- a columnar
+  formulation that keeps the per-tuple state transition as one fused
+  array filter and defers all own-factor deconvolutions into a single
+  batched post-pass vectorized across tuples.
+
+Both produce a :class:`RankProbabilities` whose canonical storage is a
+``(cutoff, k)`` float64 ``rho_prefix`` matrix plus a ``topk_prefix``
+vector -- the columnar shape every downstream consumer (query
+answering, TP quality, cleaning) reads directly.
+
 Numerical notes
 ---------------
 * Removing a factor ``q`` by the forward deconvolution amplifies error
@@ -36,9 +53,12 @@ Numerical notes
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
+from repro.core.backend import resolve_backend
 from repro.db.database import RankedDatabase
 from repro.db.tuples import ProbabilisticTuple
 from repro.queries.deterministic import require_valid_k
@@ -89,21 +109,36 @@ def _rebuild_without(
     return dp
 
 
-@dataclass
+@dataclass(eq=False)
 class RankProbabilities:
     """Rank-probability information for one (database, ranking, k).
 
-    ``rho_prefix[i][h-1]`` is ``ρ(h)`` of the ``i``-th ranked tuple, for
-    ``i < cutoff``; tuples at or beyond ``cutoff`` are exactly zero
-    everywhere (Lemma 2 fired).  ``topk_prefix[i]`` is the top-k
-    probability of the ``i``-th ranked tuple.
+    Canonical storage is columnar: ``rho_prefix`` is a ``(cutoff, k)``
+    float64 matrix with ``rho_prefix[i, h-1] = ρ(h)`` of the ``i``-th
+    ranked tuple, and ``topk_prefix`` the matching top-k probability
+    vector.  Tuples at or beyond ``cutoff`` are exactly zero everywhere
+    (Lemma 2 fired) and carry no rows.
     """
 
     k: int
     ranked: RankedDatabase
     cutoff: int
-    rho_prefix: List[List[float]]
-    topk_prefix: List[float]
+    rho_prefix: np.ndarray
+    topk_prefix: np.ndarray
+    backend: str = field(default="python")
+
+    def __eq__(self, other: object) -> bool:
+        # Array fields need elementwise comparison; the dataclass
+        # default would raise on them.
+        if not isinstance(other, RankProbabilities):
+            return NotImplemented
+        return (
+            self.k == other.k
+            and self.ranked is other.ranked
+            and self.cutoff == other.cutoff
+            and np.array_equal(self.rho_prefix, other.rho_prefix)
+            and np.array_equal(self.topk_prefix, other.topk_prefix)
+        )
 
     def rank_probability(self, tid: str, h: int) -> float:
         """``ρ_i(h)``: probability tuple ``tid`` takes rank ``h`` (1-based)."""
@@ -112,37 +147,48 @@ class RankProbabilities:
         i = self.ranked.rank_of(tid)
         if i >= self.cutoff:
             return 0.0
-        return self.rho_prefix[i][h - 1]
+        return float(self.rho_prefix[i, h - 1])
 
     def rho(self, tid: str) -> List[float]:
         """The full vector ``[ρ(1), ..., ρ(k)]`` for tuple ``tid``."""
         i = self.ranked.rank_of(tid)
         if i >= self.cutoff:
             return [0.0] * self.k
-        return list(self.rho_prefix[i])
+        return self.rho_prefix[i].tolist()
 
     def topk_probability(self, tid: str) -> float:
         """``p_i``: probability tuple ``tid`` appears in a pw-result."""
         i = self.ranked.rank_of(tid)
         if i >= self.cutoff:
             return 0.0
-        return self.topk_prefix[i]
+        return float(self.topk_prefix[i])
+
+    def topk_array(self) -> np.ndarray:
+        """Top-k probabilities for all ``n`` tuples as a float64 array."""
+        full = np.zeros(self.ranked.num_tuples)
+        full[: self.cutoff] = self.topk_prefix
+        return full
 
     def topk_probabilities(self) -> List[float]:
         """Top-k probabilities for all tuples, in ranked order."""
-        full = list(self.topk_prefix)
-        full.extend([0.0] * (self.ranked.num_tuples - self.cutoff))
-        return full
+        return self.topk_array().tolist()
 
     def nonzero_tuples(
         self, tolerance: float = 0.0
     ) -> Iterator[Tuple[ProbabilisticTuple, float]]:
         """Yield ``(tuple, p_i)`` for tuples with ``p_i > tolerance``,
         highest rank first."""
-        for i in range(self.cutoff):
-            p = self.topk_prefix[i]
-            if p > tolerance:
-                yield self.ranked.order[i], p
+        order = self.ranked.order
+        for i in np.nonzero(self.topk_prefix > tolerance)[0]:
+            yield order[i], float(self.topk_prefix[i])
+
+    def topk_mass_by_xtuple_array(self) -> np.ndarray:
+        """``Σ_{t_i∈τ_l} p_i`` per x-tuple as a float64 array."""
+        return np.bincount(
+            self.ranked.xtuple_indices_array[: self.cutoff],
+            weights=self.topk_prefix,
+            minlength=self.ranked.num_xtuples,
+        )
 
     def topk_probability_by_xtuple(self) -> List[float]:
         """``Σ_{t_i∈τ_l} p_i`` per x-tuple (database order).
@@ -151,30 +197,53 @@ class RankProbabilities:
         combined with the TP weights, the ``g(l, D)`` values of
         Theorem 2.
         """
-        sums = [0.0] * self.ranked.num_xtuples
-        for i in range(self.cutoff):
-            sums[self.ranked.xtuple_indices[i]] += self.topk_prefix[i]
-        return sums
+        return self.topk_mass_by_xtuple_array().tolist()
 
 
-def compute_rank_probabilities(
+def member_counts(ranked: RankedDatabase) -> List[int]:
+    """Number of ranked tuples per x-tuple (dense x-tuple indexing).
+
+    Both kernels use this to detect when an x-tuple *closes* (its last
+    member is scanned): a closed factor never needs removal again, so
+    it can be folded into the add-only closed-product base the
+    ``q > 1/2`` rebuilds start from.  This keeps rebuilds O(|open|·k)
+    -- the open set is just the x-tuples straddling the scan position
+    -- instead of O(|seen|·k), which degenerates quadratically on
+    incomplete databases where factors never saturate.
+    """
+    counts = [0] * ranked.num_xtuples
+    for l in ranked.xtuple_indices:
+        counts[l] += 1
+    return counts
+
+
+def _rebuild_from_base(
+    base: List[float], open_masses: Dict[int, float], skip: int
+) -> List[float]:
+    """Closed-product base times all open factors except ``skip``.
+
+    Saturated open factors are excluded -- they are accounted for by
+    the integer ``shift``, never by the vector.
+    """
+    dp = list(base)
+    for l, q in open_masses.items():
+        if l != skip and q < 1.0 - SATURATION_EPSILON:
+            _add_factor(dp, q)
+    return dp
+
+
+def _compute_rank_probabilities_python(
     ranked: RankedDatabase, k: int
 ) -> RankProbabilities:
-    """Run PSR over a pre-sorted database.
-
-    Returns a :class:`RankProbabilities` carrying ``ρ_i(h)`` and ``p_i``
-    for every tuple.  Runs in ``O(kn)`` plus rare ``O(A·k)`` rebuilds
-    (``A`` = number of x-tuples partially scanned at that point), and
-    stops early as soon as ``k`` x-tuples are guaranteed to contribute a
-    higher-ranked tuple (Lemma 2).
-    """
-    require_valid_k(k)
+    """The scalar reference kernel (kept for cross-validation)."""
     n = ranked.num_tuples
     probabilities = ranked.probabilities
     xtuple_indices = ranked.xtuple_indices
 
-    seen_mass: Dict[int, float] = {}
-    active: Dict[int, float] = {}
+    remaining = member_counts(ranked)
+    open_masses: Dict[int, float] = {}
+    closed_dp: List[float] = [0.0] * k
+    closed_dp[0] = 1.0
     dp: List[float] = [0.0] * k
     dp[0] = 1.0
     shift = 0
@@ -189,13 +258,16 @@ def compute_rank_probabilities(
             break
         e_i = probabilities[i]
         l = xtuple_indices[i]
-        q = seen_mass.get(l, 0.0)
+        q = open_masses.get(l, 0.0)
 
         if q >= 1.0 - SATURATION_EPSILON:
             # Siblings already exhaust the probability mass: t_i exists
             # with (numerically) zero probability.
             rho_prefix.append([0.0] * k)
             topk_prefix.append(0.0)
+            remaining[l] -= 1
+            if remaining[l] == 0:
+                del open_masses[l]  # saturated: lives in `shift`
             continue
 
         if q <= 0.0:
@@ -203,7 +275,7 @@ def compute_rank_probabilities(
         elif q <= DECONVOLUTION_LIMIT:
             dp_excl = _remove_factor_forward(dp, q)
         else:
-            dp_excl = _rebuild_without(active, l, k)
+            dp_excl = _rebuild_from_base(closed_dp, open_masses, l)
 
         # ρ_i(h) = e_i * Pr[h-1 higher tuples] ; `shift` saturated
         # x-tuples always contribute one higher tuple each.
@@ -222,23 +294,57 @@ def compute_rank_probabilities(
         # dp_excl is dead after the ρ computation, so mutating it (even
         # when it aliases dp) is safe.
         new_mass = min(1.0, q + e_i)
-        seen_mass[l] = new_mass
-        if new_mass >= 1.0 - SATURATION_EPSILON:
-            active.pop(l, None)
+        saturated = new_mass >= 1.0 - SATURATION_EPSILON
+        if saturated:
             shift += 1
             dp = dp_excl
         else:
             dp = dp_excl
             _add_factor(dp, new_mass)
-            active[l] = new_mass
+        remaining[l] -= 1
+        if remaining[l] == 0:
+            open_masses.pop(l, None)
+            if not saturated:
+                _add_factor(closed_dp, new_mass)
+        else:
+            open_masses[l] = 1.0 if saturated else new_mass
 
+    rho_matrix = (
+        np.array(rho_prefix, dtype=np.float64)
+        if rho_prefix
+        else np.zeros((0, k))
+    )
     return RankProbabilities(
         k=k,
         ranked=ranked,
         cutoff=cutoff,
-        rho_prefix=rho_prefix,
-        topk_prefix=topk_prefix,
+        rho_prefix=rho_matrix,
+        topk_prefix=np.array(topk_prefix, dtype=np.float64),
+        backend="python",
     )
+
+
+def compute_rank_probabilities(
+    ranked: RankedDatabase, k: int, backend: Optional[str] = None
+) -> RankProbabilities:
+    """Run PSR over a pre-sorted database.
+
+    Returns a :class:`RankProbabilities` carrying ``ρ_i(h)`` and ``p_i``
+    for every tuple.  Runs in ``O(kn)`` plus rare ``O(A·k)`` rebuilds
+    (``A`` = number of x-tuples partially scanned at that point), and
+    stops early as soon as ``k`` x-tuples are guaranteed to contribute a
+    higher-ranked tuple (Lemma 2).
+
+    ``backend`` picks the kernel (``"numpy"`` or ``"python"``); when
+    omitted, the process-wide default from :mod:`repro.core.backend`
+    applies.  Both kernels agree within 1e-9 absolute on every entry.
+    """
+    require_valid_k(k)
+    if resolve_backend(backend) == "numpy":
+        from repro.queries.psr_numpy import compute_rank_probabilities_numpy
+
+        return compute_rank_probabilities_numpy(ranked, k)
+    return _compute_rank_probabilities_python(ranked, k)
 
 
 def total_topk_mass(rank_probs: RankProbabilities) -> float:
@@ -248,4 +354,4 @@ def total_topk_mass(rank_probs: RankProbabilities) -> float:
     real tuples) this is exactly ``k``; the RandP heuristic relies on
     that normalization.
     """
-    return math.fsum(rank_probs.topk_prefix)
+    return math.fsum(rank_probs.topk_prefix.tolist())

@@ -7,6 +7,8 @@ is ``{t1, t2, t5}`` -- the paper's running example.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.db.database import RankedDatabase
 from repro.exceptions import InvalidQueryError
 from repro.queries.answers import PTkAnswer
@@ -28,15 +30,18 @@ def answer_from_rank_probabilities(
 ) -> PTkAnswer:
     """Aggregate a PT-k answer out of precomputed rank probabilities.
 
-    One pass over the tuples with nonzero top-k probability, exactly as
-    Section IV-C describes.
+    One vectorized threshold pass over the columnar top-k probability
+    vector, exactly as Section IV-C describes (members stay in rank
+    order).
     """
     require_valid_threshold(threshold)
-    members = tuple(
-        (t.tid, p)
-        for t, p in rank_probs.nonzero_tuples()
-        if p >= threshold
-    )
+    topk = rank_probs.topk_prefix
+    order = rank_probs.ranked.order
+    if threshold > 0.0:
+        positions = np.nonzero(topk >= threshold)[0]
+    else:
+        positions = np.nonzero(topk > 0.0)[0]
+    members = tuple((order[i].tid, float(topk[i])) for i in positions)
     return PTkAnswer(k=rank_probs.k, threshold=threshold, members=members)
 
 

@@ -26,21 +26,27 @@ def answer_from_rank_probabilities(
 
     This is the sharing entry point of Section IV-C: the same
     :class:`RankProbabilities` can also feed PT-k, Global-topk and the
-    TP quality computation.
+    TP quality computation.  One ``argmax`` per rank over the columnar
+    ρ matrix; ``argmax`` returns the first maximum, which matches the
+    higher-ranked-tuple tie-break.
     """
     k = rank_probs.k
     ranked = rank_probs.ranked
     winners = []
-    for h in range(1, k + 1):
-        best_tid = None
-        best_p = ZERO_TOLERANCE
-        for i in range(rank_probs.cutoff):
-            p = rank_probs.rho_prefix[i][h - 1]
-            if p > best_p:
-                best_p = p
-                best_tid = ranked.order[i].tid
-        if best_tid is not None:
-            winners.append(RankWinner(rank=h, tid=best_tid, probability=best_p))
+    if rank_probs.cutoff:
+        rho = rank_probs.rho_prefix
+        best_rows = rho.argmax(axis=0)
+        best_values = rho[best_rows, range(k)]
+        for h in range(1, k + 1):
+            p = float(best_values[h - 1])
+            if p > ZERO_TOLERANCE:
+                winners.append(
+                    RankWinner(
+                        rank=h,
+                        tid=ranked.order[int(best_rows[h - 1])].tid,
+                        probability=p,
+                    )
+                )
     return UkRanksAnswer(k=k, winners=tuple(winners))
 
 

@@ -1,0 +1,124 @@
+"""Shared hypothesis strategies for the test suite.
+
+Importable as a plain module (``from strategies import databases``), so
+test modules never depend on conftest import semantics -- the previous
+``from conftest import ...`` pattern resolved to ``benchmarks/conftest``
+when pytest collected both directories.
+
+The central strategy, :func:`databases`, generates small random x-tuple
+databases -- optionally complete (every x-tuple's probabilities sum to
+one), with controllable size -- used to cross-validate every efficient
+algorithm against the exponential possible-world oracles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from hypothesis import strategies as st
+
+from repro.db.database import ProbabilisticDatabase
+from repro.db.tuples import ProbabilisticTuple, XTuple
+
+
+def _partition_probabilities(
+    draw, num_parts: int, complete: bool
+) -> List[float]:
+    """Random probabilities for one x-tuple.
+
+    Built from integer weights over a common denominator, so complete
+    x-tuples sum to one within strict float tolerance and incomplete
+    ones always leave genuine null mass.
+    """
+    weights = draw(
+        st.lists(st.integers(1, 8), min_size=num_parts, max_size=num_parts)
+    )
+    total = sum(weights)
+    if not complete:
+        total += draw(st.integers(1, 8))
+    return [w / total for w in weights]
+
+
+@st.composite
+def databases(
+    draw,
+    max_xtuples: int = 4,
+    max_alternatives: int = 3,
+    complete: Optional[bool] = None,
+    min_xtuples: int = 1,
+) -> ProbabilisticDatabase:
+    """A small random probabilistic database.
+
+    Parameters
+    ----------
+    complete:
+        ``True`` -> every x-tuple sums to one; ``False`` -> every
+        x-tuple leaves null mass; ``None`` -> mixed per x-tuple.
+    """
+    num_xtuples = draw(st.integers(min_xtuples, max_xtuples))
+    xtuples = []
+    tid_counter = 0
+    for l in range(num_xtuples):
+        count = draw(st.integers(1, max_alternatives))
+        if complete is None:
+            is_complete = draw(st.booleans())
+        else:
+            is_complete = complete
+        probabilities = _partition_probabilities(draw, count, is_complete)
+        members = []
+        for p in probabilities:
+            # Integer values with a small range force rank ties, which
+            # exercises the deterministic tie-breaking.
+            value = draw(st.integers(0, 12))
+            members.append(
+                ProbabilisticTuple(
+                    tid=f"t{tid_counter}",
+                    xtuple_id=f"x{l}",
+                    value=float(value),
+                    probability=p,
+                )
+            )
+            tid_counter += 1
+        xtuples.append(XTuple(xid=f"x{l}", alternatives=tuple(members)))
+    return ProbabilisticDatabase(xtuples, name="random")
+
+
+@st.composite
+def databases_with_k(draw, **kwargs):
+    """A random database paired with a valid k (1..n+1, exercising
+    over-sized k as well)."""
+    db = draw(databases(**kwargs))
+    k = draw(st.integers(1, min(db.num_tuples + 1, 6)))
+    return db, k
+
+
+@st.composite
+def cleaning_problems(
+    draw,
+    max_xtuples: int = 4,
+    max_budget: int = 25,
+    complete: Optional[bool] = True,
+):
+    """A random cleaning problem over a random database.
+
+    Returns ``(db, problem)``; the problem's quality inputs come from a
+    real TP run on the database, so Theorem 2's preconditions hold.
+    """
+    from repro.cleaning.model import build_cleaning_problem
+    from repro.core.tp import compute_quality_tp
+
+    db = draw(databases(max_xtuples=max_xtuples, complete=complete, min_xtuples=2))
+    k = draw(st.integers(1, min(db.num_xtuples, 3)))
+    quality = compute_quality_tp(db.ranked(), k)
+    costs = {
+        xt.xid: draw(st.integers(1, 5)) for xt in db.xtuples
+    }
+    sc = {
+        xt.xid: draw(
+            st.sampled_from([0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0])
+        )
+        for xt in db.xtuples
+    }
+    budget = draw(st.integers(0, max_budget))
+    problem = build_cleaning_problem(quality, costs, sc, budget)
+    return db, problem

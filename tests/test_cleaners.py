@@ -13,7 +13,7 @@ from repro.cleaning.model import CleaningPlan, build_cleaning_problem
 from repro.cleaning.random_cleaners import RandPCleaner, RandUCleaner
 from repro.core.tp import compute_quality_tp
 
-from conftest import cleaning_problems
+from strategies import cleaning_problems
 
 ALL_PLANNERS = [DPCleaner(), GreedyCleaner(), RandPCleaner(), RandUCleaner()]
 

@@ -8,7 +8,7 @@ from repro.db.ranking import by_value, custom
 from repro.db.tuples import make_xtuple
 from repro.exceptions import InvalidDatabaseError
 
-from conftest import databases
+from strategies import databases
 
 
 class TestProbabilisticDatabase:

@@ -8,7 +8,7 @@ from repro.db.possible_worlds import iter_worlds
 from repro.exceptions import InvalidQueryError
 from repro.queries.deterministic import require_valid_k, topk_of_world
 
-from conftest import databases
+from strategies import databases
 
 
 class TestRequireValidK:

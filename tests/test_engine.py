@@ -5,7 +5,7 @@ from hypothesis import given, settings
 
 from repro.queries.engine import evaluate, evaluate_without_sharing
 
-from conftest import databases_with_k
+from strategies import databases_with_k
 
 
 class TestEvaluate:

@@ -14,7 +14,7 @@ from repro.core.tp import compute_quality_tp
 from repro.db.database import ProbabilisticDatabase
 from repro.db.tuples import make_xtuple
 
-from conftest import cleaning_problems
+from strategies import cleaning_problems
 
 
 def _paper_problem(udb1, budget=10, sc=None):

@@ -18,7 +18,7 @@ from repro.cleaning.improvement import (
 from repro.cleaning.model import CleaningPlan, build_cleaning_problem
 from repro.core.tp import compute_quality_tp
 
-from conftest import cleaning_problems
+from strategies import cleaning_problems
 
 
 def _paper_problem(udb1, budget=100, sc=None, costs=None):

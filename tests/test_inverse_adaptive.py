@@ -18,7 +18,7 @@ from repro.cleaning.model import build_cleaning_problem
 from repro.core.tp import compute_quality_tp
 from repro.exceptions import InfeasibleTargetError
 
-from conftest import cleaning_problems
+from strategies import cleaning_problems
 
 
 def _paper_problem(udb1, budget=100):

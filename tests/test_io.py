@@ -7,7 +7,7 @@ from repro.db import io
 from repro.db.database import ProbabilisticDatabase
 from repro.db.tuples import make_xtuple
 
-from conftest import databases
+from strategies import databases
 
 
 def _assert_equal_databases(a: ProbabilisticDatabase, b: ProbabilisticDatabase):

@@ -14,7 +14,7 @@ from repro.db.possible_worlds import (
 )
 from repro.db.tuples import make_xtuple
 
-from conftest import databases
+from strategies import databases
 
 
 class TestIterWorlds:

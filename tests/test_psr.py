@@ -25,7 +25,7 @@ from repro.queries.psr import (
     total_topk_mass,
 )
 
-from conftest import databases_with_k
+from strategies import databases_with_k
 
 ABS = 1e-9
 

@@ -21,7 +21,7 @@ from repro.db.database import ProbabilisticDatabase
 from repro.db.tuples import make_xtuple
 from repro.queries.brute_force import pw_result_distribution
 
-from conftest import databases_with_k
+from strategies import databases_with_k
 
 ABS = 1e-9
 

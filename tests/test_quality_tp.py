@@ -17,7 +17,7 @@ from repro.db.tuples import make_xtuple
 from repro.exceptions import InvalidQueryError
 from repro.queries.psr import compute_rank_probabilities
 
-from conftest import databases_with_k
+from strategies import databases_with_k
 
 ABS = 1e-9
 

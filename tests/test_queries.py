@@ -14,7 +14,7 @@ from repro.queries.brute_force import (
 )
 from repro.queries.psr import compute_rank_probabilities
 
-from conftest import databases_with_k
+from strategies import databases_with_k
 
 
 class TestPTk:

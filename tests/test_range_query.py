@@ -19,7 +19,7 @@ from repro.queries.range_query import (
     compute_quality_range_bruteforce,
 )
 
-from conftest import databases
+from strategies import databases
 
 
 class TestAnswer:

@@ -13,7 +13,7 @@ from repro.queries.brute_force import (
     pw_result_distribution,
 )
 
-from conftest import databases_with_k
+from strategies import databases_with_k
 
 
 class TestUTopk:
