@@ -11,24 +11,45 @@ Emits a JSON document with the timings future PRs compare against:
   :class:`~repro.queries.engine.QuerySession` -- the warm numbers are
   pure answer extraction, demonstrating that repeated same-``k``
   evaluations never re-run PSR.
+* ``adaptive_cleaning``: the incremental delta engine measured
+  end-to-end -- a greedy adaptive cleaning run with per-probe
+  :class:`~repro.db.database.RankDelta` threading versus the identical
+  run on the cold-derive path, plus an isolated replay of each round's
+  derive/re-evaluate phase (snapshot construction + ranking + PSR +
+  quality) on the real probe trace.  The replay also cross-checks the
+  delta-derived quality against the cold quality at every round and
+  **fails the run** beyond :data:`DERIVE_CHECK_TOLERANCE`, which is
+  what lets the CI smoke mode catch kernel regressions.
 
 The pure-Python backend is skipped above ``PYTHON_BACKEND_MAX_TUPLES``
 tuples when ``--quick`` is requested; the full snapshot runs it
-everywhere.
+everywhere.  ``--smoke`` shrinks every section to n = 500 so the whole
+snapshot runs in seconds on every push.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import random
+import statistics
 import sys
 import time
 from pathlib import Path
 from typing import Dict, List
 
 from repro.bench.harness import time_call
+from repro.cleaning.adaptive import clean_adaptively
+from repro.cleaning.greedy import GreedyCleaner
+from repro.cleaning.model import build_cleaning_problem
 from repro.core.backend import BACKENDS
-from repro.datasets.synthetic import generate_synthetic
+from repro.core.tp import compute_quality_tp
+from repro.datasets.synthetic import (
+    generate_costs,
+    generate_sc_probabilities,
+    generate_synthetic,
+)
+from repro.db.database import ProbabilisticDatabase
 from repro.queries.engine import QuerySession
 from repro.queries.psr import compute_rank_probabilities
 
@@ -48,6 +69,28 @@ COMPLETION = 0.85
 PYTHON_BACKEND_MAX_TUPLES = 10_000
 
 DB_SEED = 7
+
+#: Adaptive-cleaning section: sizes, top-k, probing budget and seeds.
+#: The budget follows the paper's Section VI sweeps (absolute budgets
+#: up to ~100 for databases an order of magnitude larger), and the
+#: complete database is the natural cleaning workload -- collapsing an
+#: entity to a certain reading keeps the delta window confined to the
+#: entity's own uncertainty interval.
+ADAPTIVE_SIZES = (10_000, 100_000)
+ADAPTIVE_K = 100
+#: Paper-proportional probing budget: Section VI sweeps budgets up to
+#: ~100 on a 5000-x-tuple database (C/m up to 0.02); the snapshot sits
+#: mid-sweep, in the regime the paper motivates -- probes (phone
+#: calls, sensor polls) are expensive, so a round cleans a handful of
+#: entities while the re-evaluation has to keep up.
+ADAPTIVE_BUDGET = 10
+COST_SEED = 11
+SC_SEED = 13
+PROBE_SEED = 17
+
+#: Delta-vs-cold quality disagreement that fails the snapshot (and the
+#: CI smoke run) outright.
+DERIVE_CHECK_TOLERANCE = 1e-9
 
 
 def _snapshot_ranked(num_tuples: int):
@@ -119,10 +162,196 @@ def query_session_snapshot(
     }
 
 
-def perf_snapshot(quick: bool = False) -> Dict:
+def _replay_derive_phase(db, rounds_probes, k, seed_quality):
+    """Re-run each changed round's derive/re-evaluate phase both ways.
+
+    ``rounds_probes`` is the per-round list of successful probe
+    outcomes ``(xid, revealed_tid, revealed_null)`` taken from a real
+    adaptive run.  For every round the cold path rebuilds the cleaned
+    snapshots through the public constructors, re-ranks and runs a
+    fresh PSR + quality pass; the delta path threads the same probes
+    through ``RankedDatabase.with_xtuple_*`` and delta-aware
+    ``QuerySession.derive``.  Their qualities are cross-checked at
+    every round -- disagreement beyond :data:`DERIVE_CHECK_TOLERANCE`
+    raises, which is the snapshot's kernel-regression tripwire.
+    """
+    session = QuerySession(db)
+    session.quality(k)
+    cold_db = db
+    cold_ms: List[float] = []
+    delta_ms: List[float] = []
+    max_err = 0.0
+    for probes in rounds_probes:
+        if not probes:
+            continue
+        start = time.perf_counter()
+        round_db = session.db
+        derived = session
+        for xid, revealed_tid, revealed_null in probes:
+            if revealed_null:
+                new_ranked, delta = derived.ranked.with_xtuple_removed(xid)
+            else:
+                # Like the executor: a round's plan touches each x-tuple
+                # once, so the round-start snapshot serves the lookups.
+                new_ranked, delta = derived.ranked.with_xtuple_replaced(
+                    xid, round_db.xtuple(xid).collapsed_to(revealed_tid)
+                )
+            derived = derived.derive(new_ranked, delta=delta)
+        delta_quality = derived.quality(k).quality
+        delta_ms.append((time.perf_counter() - start) * 1000.0)
+
+        start = time.perf_counter()
+        for xid, revealed_tid, revealed_null in probes:
+            if revealed_null:
+                cold_db = ProbabilisticDatabase(
+                    [xt for xt in cold_db.xtuples if xt.xid != xid],
+                    name=cold_db.name,
+                )
+            else:
+                cold_db = cold_db.with_xtuple_replaced(
+                    xid, cold_db.xtuple(xid).collapsed_to(revealed_tid)
+                )
+        cold_quality = compute_quality_tp(cold_db.ranked(), k).quality
+        cold_ms.append((time.perf_counter() - start) * 1000.0)
+
+        max_err = max(max_err, abs(cold_quality - delta_quality))
+        if max_err > DERIVE_CHECK_TOLERANCE:
+            raise RuntimeError(
+                f"delta-derived quality diverged from the cold pass by "
+                f"{max_err:.3e} (> {DERIVE_CHECK_TOLERANCE:.0e}) -- "
+                f"incremental kernel regression"
+            )
+        session = derived
+    if seed_quality is not None:
+        final_err = abs(session.quality(k).quality - seed_quality)
+        max_err = max(max_err, final_err)
+        if final_err > DERIVE_CHECK_TOLERANCE:
+            raise RuntimeError(
+                f"replayed delta session diverged from the original "
+                f"adaptive run by {final_err:.3e} "
+                f"(> {DERIVE_CHECK_TOLERANCE:.0e})"
+            )
+    return cold_ms, delta_ms, max_err
+
+
+def adaptive_cleaning_snapshot(
+    sizes=ADAPTIVE_SIZES,
+    k: int = ADAPTIVE_K,
+    budget: int = ADAPTIVE_BUDGET,
+    seed: int = PROBE_SEED,
+) -> List[Dict]:
+    """Delta-engine timings for adaptive cleaning, one point per size."""
+    points: List[Dict] = []
+    for size in sizes:
+        db = generate_synthetic(num_xtuples=size // BARS, seed=DB_SEED)
+        costs = generate_costs(db, seed=COST_SEED)
+        sc = generate_sc_probabilities(db, seed=SC_SEED)
+        k_eff = min(k, db.num_tuples)
+
+        runs: Dict[bool, Dict] = {}
+        results: Dict[bool, object] = {}
+        for use_deltas in (False, True):
+            session = QuerySession(db)
+            problem = build_cleaning_problem(
+                session.quality(k_eff), costs, sc, budget
+            )
+            start = time.perf_counter()
+            result = clean_adaptively(
+                db,
+                problem,
+                GreedyCleaner(),
+                rng=random.Random(seed),
+                session=session,
+                use_deltas=use_deltas,
+            )
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            rounds = max(1, len(result.rounds))
+            runs[use_deltas] = {
+                "total_ms": elapsed_ms,
+                "round_ms": elapsed_ms / rounds,
+                "rounds": len(result.rounds),
+                "final_quality": result.final_quality,
+                "psr_full_passes": result.session.psr_misses,
+                "psr_patches": result.session.psr_patches,
+            }
+            results[use_deltas] = result
+
+        delta_result = results[True]
+        rounds_probes = [
+            [
+                (r.xid, r.revealed_tid, r.revealed_null)
+                for r in round_.outcome.records
+                if r.succeeded
+            ]
+            for round_ in delta_result.rounds
+        ]
+        # Several replays; later ones are the steady-state measurement
+        # (the first pays one-time costs -- allocator warm-up, lazy
+        # list materialization -- that a long-running service never
+        # sees per round).  Per-round times take the elementwise
+        # minimum across repeats, the standard anti-jitter estimator.
+        cold_ms: List[float] = []
+        delta_ms: List[float] = []
+        max_err = 0.0
+        for _ in range(3):
+            cold_rep, delta_rep, err_rep = _replay_derive_phase(
+                db, rounds_probes, k_eff, delta_result.final_quality
+            )
+            max_err = max(max_err, err_rep)
+            if not cold_ms:
+                cold_ms, delta_ms = cold_rep, delta_rep
+            else:
+                cold_ms = [min(x, y) for x, y in zip(cold_ms, cold_rep)]
+                delta_ms = [min(x, y) for x, y in zip(delta_ms, delta_rep)]
+
+        point = {
+            "n": db.num_tuples,
+            "m": db.num_xtuples,
+            "k": k_eff,
+            "budget": budget,
+            "rounds": runs[True]["rounds"],
+            "probes_succeeded": sum(len(p) for p in rounds_probes),
+            "cold_total_ms": runs[False]["total_ms"],
+            "delta_total_ms": runs[True]["total_ms"],
+            "end_to_end_round_speedup": (
+                runs[False]["round_ms"] / runs[True]["round_ms"]
+                if runs[True]["round_ms"]
+                else None
+            ),
+            "cold_derive_round_ms": statistics.fmean(cold_ms) if cold_ms else None,
+            "delta_derive_round_ms": (
+                statistics.fmean(delta_ms) if delta_ms else None
+            ),
+            #: The headline metric: per-round cost of deriving and
+            #: re-evaluating the changed snapshot, delta path vs the
+            #: cold-derive path, on the run's real probe trace.
+            "round_speedup": (
+                statistics.fmean(cold_ms) / statistics.fmean(delta_ms)
+                if cold_ms and delta_ms and statistics.fmean(delta_ms) > 0
+                else None
+            ),
+            "psr_full_passes_delta": runs[True]["psr_full_passes"],
+            "psr_patches_delta": runs[True]["psr_patches"],
+            "max_abs_quality_error": max_err,
+        }
+        points.append(point)
+    return points
+
+
+def perf_snapshot(quick: bool = False, smoke: bool = False) -> Dict:
     """The full snapshot document."""
+    if smoke:
+        psr = psr_snapshot(sizes=(500,), quick=quick)
+        session = query_session_snapshot(size=500, k=50)
+        adaptive = adaptive_cleaning_snapshot(
+            sizes=(500,), k=50, budget=20
+        )
+    else:
+        psr = psr_snapshot(quick=quick)
+        session = query_session_snapshot()
+        adaptive = adaptive_cleaning_snapshot()
     return {
-        "schema": "repro-perf-snapshot/1",
+        "schema": "repro-perf-snapshot/2",
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "workload": {
@@ -131,14 +360,15 @@ def perf_snapshot(quick: bool = False) -> Dict:
             "completion": COMPLETION,
             "seed": DB_SEED,
         },
-        "psr": psr_snapshot(quick=quick),
-        "query_session": query_session_snapshot(),
+        "psr": psr,
+        "query_session": session,
+        "adaptive_cleaning": adaptive,
     }
 
 
-def write_perf_snapshot(path, quick: bool = False) -> Dict:
+def write_perf_snapshot(path, quick: bool = False, smoke: bool = False) -> Dict:
     """Compute the snapshot and write it to ``path`` as JSON."""
-    snapshot = perf_snapshot(quick=quick)
+    snapshot = perf_snapshot(quick=quick, smoke=smoke)
     Path(path).write_text(json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
     return snapshot
 
@@ -163,4 +393,22 @@ def format_snapshot(snapshot: Dict) -> str:
         f"warm {qs['warm_eval_ms']:.3f} ms "
         f"(PSR cache hits: {qs['psr_cache_hits']})"
     )
+    lines.append(
+        "# Adaptive cleaning (incremental delta engine vs cold derive)"
+    )
+
+    def fmt(value, spec):
+        return format(value, spec) if value is not None else "-"
+
+    for point in snapshot.get("adaptive_cleaning", []):
+        lines.append(
+            f"n={point['n']:>7}  k={point['k']:>3}  C={point['budget']}: "
+            f"derive/round cold {fmt(point['cold_derive_round_ms'], '.1f')} ms"
+            f" vs delta {fmt(point['delta_derive_round_ms'], '.2f')} ms "
+            f"({fmt(point['round_speedup'], '.1f')}x; end-to-end "
+            f"{fmt(point['end_to_end_round_speedup'], '.1f')}x; "
+            f"{point['psr_full_passes_delta']} full PSR pass(es), "
+            f"{point['psr_patches_delta']} patches, "
+            f"max quality err {point['max_abs_quality_error']:.1e})"
+        )
     return "\n".join(lines)

@@ -52,6 +52,11 @@ class AdaptiveCleaningResult:
     final_quality: float
     budget: int
     budget_spent: int
+    #: The session over ``final_db`` the loop ended on.  Its cumulative
+    #: counters tell the run's whole evaluation cost -- with the delta
+    #: path on, ``psr_misses`` stays at the single initial full pass
+    #: while every probe shows up in ``psr_patches``.
+    session: Optional[QuerySession] = None
 
     @property
     def realized_improvement(self) -> float:
@@ -65,14 +70,20 @@ def clean_adaptively(
     rng: Optional[random.Random] = None,
     max_rounds: int = 100,
     session: Optional[QuerySession] = None,
+    use_deltas: bool = True,
 ) -> AdaptiveCleaningResult:
     """Run the plan/execute/re-plan loop until the budget is spent.
 
     Each round works through a :class:`QuerySession` derived from the
-    previous round's outcome, so quality re-evaluation only pays for a
-    fresh PSR pass when the database actually changed -- an
-    all-failures round (or a caller-provided warm session over ``db``)
-    is served entirely from cache.
+    previous round's outcome.  With ``use_deltas`` on (the default) the
+    executor threads a :class:`~repro.db.database.RankDelta` per
+    successful probe, so the whole run performs **one** full PSR pass
+    (the initial evaluation) and every later round only patches the
+    rank window its probes moved; an all-failures round (or a
+    caller-provided warm session over ``db``) is served entirely from
+    cache either way.  ``use_deltas=False`` keeps the probes identical
+    but re-derives every round's session cold -- the baseline the
+    benchmarks measure the delta engine against.
 
     Parameters
     ----------
@@ -135,7 +146,12 @@ def clean_adaptively(
         if not plan.operations:
             break
         outcome = execute_plan(
-            current_db, round_problem, plan, rng=rng, session=session
+            current_db,
+            round_problem,
+            plan,
+            rng=rng,
+            session=session,
+            use_deltas=use_deltas,
         )
         rounds.append(
             AdaptiveRound(
@@ -151,7 +167,8 @@ def clean_adaptively(
         current_db = outcome.cleaned_db
         session = outcome.session
 
-    final_quality = session.derive(current_db).quality(k).quality
+    session = session.derive(current_db)
+    final_quality = session.quality(k).quality
     return AdaptiveCleaningResult(
         final_db=current_db,
         rounds=tuple(rounds),
@@ -159,4 +176,5 @@ def clean_adaptively(
         final_quality=final_quality,
         budget=problem.budget,
         budget_spent=problem.budget - remaining,
+        session=session,
     )

@@ -12,6 +12,15 @@ A successful probe reveals the entity's real value: alternative ``t_i``
 with probability ``e_i``, or -- for incomplete x-tuples -- "no reading"
 with the null mass ``1 - s_l``, in which case the entity is removed
 from the cleaned database (it is now certain to contribute nothing).
+
+When a :class:`~repro.queries.engine.QuerySession` is threaded through
+(and ``use_deltas`` is left on), each successful probe derives the next
+database through the session's *ranked view* --
+``RankedDatabase.with_xtuple_replaced`` / ``with_xtuple_removed`` --
+and hands the resulting :class:`~repro.db.database.RankDelta` to
+``session.derive``, so the session's cached rank probabilities are
+patched incrementally instead of recomputed from scratch.  The probe
+outcomes themselves (and the rng stream) are identical either way.
 """
 
 from __future__ import annotations
@@ -75,6 +84,7 @@ def execute_plan(
     plan: CleaningPlan,
     rng: Optional[random.Random] = None,
     session: Optional[QuerySession] = None,
+    use_deltas: bool = True,
 ) -> CleaningOutcome:
     """Simulate the cleaning agent executing ``plan`` on ``db``.
 
@@ -89,18 +99,34 @@ def execute_plan(
         The probe assignment to carry out.
     rng:
         Randomness source; defaults to a fixed-seed generator so
-        simulations are reproducible by default.
+        simulations are reproducible by default.  Pass your own
+        ``random.Random`` to control the probe outcomes end-to-end.
     session:
         Optional query session over ``db``; when given, the outcome
-        carries ``session.derive(cleaned_db)`` so downstream
-        re-evaluation reuses cached rank-probability state whenever
-        possible.
+        carries a session over the cleaned database derived from it so
+        downstream re-evaluation reuses cached rank-probability state
+        whenever possible.
+    use_deltas:
+        With a session, derive each successful probe's database through
+        the incremental rank-delta path (default).  ``False`` keeps the
+        probes identical but falls back to one cold
+        ``session.derive(cleaned_db)`` at the end -- the baseline the
+        benchmarks compare against.
     """
     rng = rng or random.Random(0)
     records: List[ProbeRecord] = []
     cost_assigned = 0
     cost_spent = 0
     cleaned = db
+    # The delta path derives snapshots through the session's ranked
+    # view, so it only applies when the session actually covers ``db``;
+    # a foreign session falls back to the historical cold behaviour
+    # (probes applied to ``db``, one cold derive at the end).
+    current_session = (
+        session
+        if use_deltas and session is not None and session.ranked.db is db
+        else None
+    )
     dropped: List[str] = []
 
     for xid in sorted(plan.operations):
@@ -132,7 +158,26 @@ def execute_plan(
                     break
             if revealed_tid is None:
                 revealed_null = True
-                dropped.append(xid)
+                if current_session is not None:
+                    new_ranked, delta = (
+                        current_session.ranked.with_xtuple_removed(xid)
+                    )
+                    cleaned = new_ranked.db
+                    current_session = current_session.derive(
+                        new_ranked, delta=delta
+                    )
+                else:
+                    dropped.append(xid)
+            elif current_session is not None:
+                new_ranked, delta = (
+                    current_session.ranked.with_xtuple_replaced(
+                        xid, xt.collapsed_to(revealed_tid)
+                    )
+                )
+                cleaned = new_ranked.db
+                current_session = current_session.derive(
+                    new_ranked, delta=delta
+                )
             else:
                 cleaned = cleaned.with_xtuple_replaced(
                     xid, xt.collapsed_to(revealed_tid)
@@ -152,10 +197,16 @@ def execute_plan(
         remaining = [xt for xt in cleaned.xtuples if xt.xid not in set(dropped)]
         cleaned = ProbabilisticDatabase(remaining, name=cleaned.name)
 
+    if session is None:
+        outcome_session = None
+    elif current_session is not None:
+        outcome_session = current_session
+    else:
+        outcome_session = session.derive(cleaned)
     return CleaningOutcome(
         cleaned_db=cleaned,
         records=tuple(records),
         cost_assigned=cost_assigned,
         cost_spent=cost_spent,
-        session=session.derive(cleaned) if session is not None else None,
+        session=outcome_session,
     )

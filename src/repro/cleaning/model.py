@@ -92,22 +92,60 @@ class CleaningProblem:
             raise InvalidCleaningProblemError(
                 f"budget must be non-negative, got {self.budget}"
             )
-        for c in self.costs:
-            if not isinstance(c, int) or isinstance(c, bool) or c < 1:
-                raise InvalidCleaningProblemError(
-                    f"costs must be positive integers, got {c!r}"
-                )
-        for p in self.sc_probabilities:
-            if math.isnan(p) or not 0.0 <= p <= 1.0:
-                raise InvalidCleaningProblemError(
-                    f"sc-probabilities must lie in [0, 1], got {p!r}"
-                )
-        for g in self.g_by_xtuple:
-            if g > G_TOLERANCE:
-                raise InvalidCleaningProblemError(
-                    f"g(l, D) values are weighted quality contributions and "
-                    f"must be <= 0, got {g!r}"
-                )
+        # Range/type checks run as single array expressions (the
+        # problem is rebuilt once per adaptive round, so O(m)
+        # Python-level loops here used to show up on profiles); the
+        # offending entry is only hunted down scalar-style on failure.
+        costs = np.asarray(self.costs, dtype=np.int64 if not self.costs else None)
+        if self.costs and (
+            costs.dtype.kind != "i"
+            or any(type(c) is bool for c in self.costs)
+        ):
+            # Pin down a scalar offender for the message; an oversized
+            # int (object dtype, every element a true int) has none.
+            bad = next(
+                (
+                    c
+                    for c in self.costs
+                    if not isinstance(c, int) or isinstance(c, bool)
+                ),
+                max(self.costs),
+            )
+            raise InvalidCleaningProblemError(
+                f"costs must be positive integers, got {bad!r}"
+            )
+        if costs.size and int(costs.min()) < 1:
+            raise InvalidCleaningProblemError(
+                f"costs must be positive integers, got {int(costs.min())!r}"
+            )
+        try:
+            sc = np.asarray(self.sc_probabilities, dtype=np.float64)
+        except (TypeError, ValueError):
+            raise InvalidCleaningProblemError(
+                f"sc-probabilities must lie in [0, 1], got "
+                f"{self.sc_probabilities!r}"
+            ) from None
+        if sc.size and not bool(
+            ((sc >= 0.0) & (sc <= 1.0)).all()
+        ):  # NaN fails both comparisons
+            bad_sc = next(
+                p
+                for p in self.sc_probabilities
+                if math.isnan(p) or not 0.0 <= p <= 1.0
+            )
+            raise InvalidCleaningProblemError(
+                f"sc-probabilities must lie in [0, 1], got {bad_sc!r}"
+            )
+        g = np.asarray(self.g_by_xtuple, dtype=np.float64)
+        if g.size and float(g.max()) > G_TOLERANCE:
+            raise InvalidCleaningProblemError(
+                f"g(l, D) values are weighted quality contributions and "
+                f"must be <= 0, got {float(g.max())!r}"
+            )
+        # The validation arrays double as the columnar caches below.
+        self.__dict__["costs_array"] = costs.astype(np.int64, copy=False)
+        self.__dict__["sc_array"] = sc
+        self.__dict__["g_array"] = g
 
     # ------------------------------------------------------------------
     @property
@@ -211,8 +249,9 @@ def build_cleaning_problem(
                 raise InvalidCleaningProblemError(
                     f"{label} mapping is missing x-tuples {missing[:5]!r}"
                 )
-            unknown = [xid for xid in source if xid not in set(ranked.xtuple_ids)]
-            if unknown:
+            if len(source) != m:
+                known = set(ranked.xtuple_ids)
+                unknown = [xid for xid in source if xid not in known]
                 raise InvalidCleaningProblemError(
                     f"{label} mapping names unknown x-tuples {unknown[:5]!r}"
                 )

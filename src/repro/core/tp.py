@@ -29,7 +29,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.backend import resolve_backend
-from repro.core.weights import compute_weights
+from repro.core.weights import compute_weights, weight_of
 from repro.db.database import RankedDatabase
 from repro.exceptions import InvalidQueryError
 from repro.queries.psr import RankProbabilities, compute_rank_probabilities
@@ -98,6 +98,69 @@ class TPQualityResult:
                 self.weights_prefix[i] * rp.topk_prefix[i]
             )
         return g
+
+
+def patch_quality_tp(
+    old_quality: TPQualityResult,
+    rank_probabilities: RankProbabilities,
+    delta,
+    backend: Optional[str] = None,
+) -> Optional[TPQualityResult]:
+    """TP quality for a delta-patched view, from the old quality.
+
+    A tuple's weight ``ω_i`` depends only on its own x-tuple's
+    higher-ranked siblings, so an x-tuple swap leaves every survivor's
+    weight bitwise unchanged -- the new weight vector is the old one
+    with the swapped x-tuple's rows spliced out and the replacement's
+    (computed scalar-style, O(|replacement|)) spliced in.  The quality
+    is then one dot product against the patched top-k vector.
+
+    Returns ``None`` when the patch does not apply (x-tuple removal can
+    *grow* the PSR cutoff past the old weight vector; rare) -- the
+    caller falls back to :func:`compute_quality_tp`.
+    """
+    if delta.new_index is None:
+        return None
+    old_w = np.asarray(old_quality.weights_prefix)
+    cutoff = rank_probabilities.cutoff
+    spliced = np.delete(
+        old_w, delta.removed_rows[delta.removed_rows < old_w.shape[0]]
+    )
+    inserted = delta.inserted_rows[delta.inserted_rows < cutoff]
+    if inserted.size:
+        ranked = rank_probabilities.ranked
+        probabilities = ranked.probabilities_array[delta.inserted_rows]
+        weights = []
+        mass = 0.0
+        for j, e in enumerate(probabilities.tolist()):
+            mass = min(1.0, mass + e)
+            if delta.inserted_rows[j] < cutoff:
+                weights.append(weight_of(e, mass))
+        spliced = np.insert(
+            spliced,
+            np.minimum(inserted - np.arange(inserted.size), spliced.shape[0]),
+            weights,
+        )
+    if spliced.shape[0] < cutoff:
+        return None
+    weights_prefix = np.ascontiguousarray(spliced[:cutoff])
+    resolved = resolve_backend(backend)
+    if resolved == "numpy":
+        quality = float(weights_prefix @ rank_probabilities.topk_prefix)
+    else:
+        quality = math.fsum(
+            w * p
+            for w, p in zip(
+                weights_prefix.tolist(),
+                rank_probabilities.topk_prefix.tolist(),
+            )
+        )
+    return TPQualityResult(
+        quality=quality,
+        rank_probabilities=rank_probabilities,
+        weights_prefix=weights_prefix,
+        backend=resolved,
+    )
 
 
 def short_result_probability(ranked: RankedDatabase, k: int) -> float:

@@ -11,7 +11,7 @@ Public surface:
 * JSON/CSV serialization (:mod:`repro.db.io`).
 """
 
-from repro.db.database import ProbabilisticDatabase, RankedDatabase
+from repro.db.database import ProbabilisticDatabase, RankDelta, RankedDatabase
 from repro.db.possible_worlds import (
     PossibleWorld,
     iter_worlds,
@@ -29,6 +29,7 @@ from repro.db.tuples import ProbabilisticTuple, XTuple, make_xtuple
 
 __all__ = [
     "ProbabilisticDatabase",
+    "RankDelta",
     "RankedDatabase",
     "ProbabilisticTuple",
     "XTuple",

@@ -16,18 +16,40 @@ attributes (``probabilities``, ``xtuple_indices``, ``scores``,
 ``completion``) survive as lazily materialized views of those arrays,
 so scalar code -- including the pure-Python reference backend -- keeps
 working unchanged.
+
+Incremental derivation
+----------------------
+Cleaning replaces exactly one x-tuple per successful probe, so the
+ranked view supports *patched* derivation: :meth:`RankedDatabase.\
+with_xtuple_replaced` / :meth:`RankedDatabase.with_xtuple_removed`
+splice the changed x-tuple's rows out of / into the columnar arrays in
+O(n) (``np.delete`` plus a ``np.searchsorted`` insert that replicates
+the full sort's exact ``(-score, insertion index)`` tie-breaking)
+instead of re-sorting, and return a :class:`RankDelta` describing the
+affected rank window.  The delta is what the incremental PSR kernels
+(:mod:`repro.queries.psr` / :mod:`repro.queries.psr_numpy`) and the
+query engine (:meth:`repro.queries.engine.QuerySession.derive`) consume
+to re-evaluate only the rows whose inputs moved.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.db.ranking import RankingFunction, by_value
 from repro.db.tuples import ProbabilisticTuple, XTuple
 from repro.exceptions import InvalidDatabaseError
+
+#: Mirror of :data:`repro.queries.psr.SATURATION_EPSILON` (the queries
+#: layer imports this one, so the two can never drift apart).  A factor
+#: whose cumulative mass reaches ``1 - ε`` behaves as a certain
+#: higher-ranked tuple in the PSR scan; the delta machinery uses the
+#: same threshold to decide where an x-tuple swap stops affecting rows.
+SATURATION_EPSILON = 1e-12
 
 
 class ProbabilisticDatabase:
@@ -51,9 +73,9 @@ class ProbabilisticDatabase:
     def __init__(self, xtuples: Iterable[XTuple], name: str = "") -> None:
         self._xtuples: Tuple[XTuple, ...] = tuple(xtuples)
         self.name = name
-        self._by_xid: Dict[str, XTuple] = {}
-        self._by_tid: Dict[str, ProbabilisticTuple] = {}
-        self._insertion_index: Dict[str, int] = {}
+        self._by_xid: Optional[Dict[str, XTuple]] = {}
+        self._by_tid: Optional[Dict[str, ProbabilisticTuple]] = {}
+        self._insertion_index: Optional[Dict[str, int]] = {}
         index = 0
         for xt in self._xtuples:
             if xt.xid in self._by_xid:
@@ -67,6 +89,51 @@ class ProbabilisticDatabase:
                 self._by_tid[t.tid] = t
                 self._insertion_index[t.tid] = index
                 index += 1
+        self._num_tuples = index
+
+    @classmethod
+    def _derived(
+        cls, xtuples: Tuple[XTuple, ...], name: str, num_tuples: int
+    ) -> "ProbabilisticDatabase":
+        """Trusted fast-path constructor for cleaning derivations.
+
+        Swapping one already-validated x-tuple inside an
+        already-validated database cannot introduce duplicate ids, so
+        every index build -- the O(m) x-tuple map included -- is
+        deferred to first use (:meth:`xtuple` / :meth:`tuple` /
+        :meth:`insertion_index`).  Internal use only -- arbitrary
+        x-tuple collections must go through ``__init__``.
+        """
+        self = cls.__new__(cls)
+        self._xtuples = tuple(xtuples)
+        self.name = name
+        self._by_xid = None
+        self._by_tid = None
+        self._insertion_index = None
+        self._num_tuples = num_tuples
+        return self
+
+    def _xid_map(self) -> Dict[str, XTuple]:
+        if self._by_xid is None:
+            self._by_xid = {xt.xid: xt for xt in self._xtuples}
+        return self._by_xid
+
+    def _tuple_maps(
+        self,
+    ) -> Tuple[Dict[str, ProbabilisticTuple], Dict[str, int]]:
+        """The per-tuple lookup maps, built lazily on derived databases."""
+        if self._by_tid is None:
+            by_tid: Dict[str, ProbabilisticTuple] = {}
+            insertion: Dict[str, int] = {}
+            index = 0
+            for xt in self._xtuples:
+                for t in xt.alternatives:
+                    by_tid[t.tid] = t
+                    insertion[t.tid] = index
+                    index += 1
+            self._by_tid = by_tid
+            self._insertion_index = insertion
+        return self._by_tid, self._insertion_index
 
     # ------------------------------------------------------------------
     # Introspection
@@ -84,7 +151,7 @@ class ProbabilisticDatabase:
     @property
     def num_tuples(self) -> int:
         """Total number of alternatives ``n`` across all entities."""
-        return len(self._by_tid)
+        return self._num_tuples
 
     def __len__(self) -> int:
         return self.num_tuples
@@ -95,7 +162,7 @@ class ProbabilisticDatabase:
             yield from xt.alternatives
 
     def __contains__(self, tid: str) -> bool:
-        return tid in self._by_tid
+        return tid in self._tuple_maps()[0]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = f" {self.name!r}" if self.name else ""
@@ -107,27 +174,27 @@ class ProbabilisticDatabase:
     def xtuple(self, xid: str) -> XTuple:
         """Return the x-tuple with identifier ``xid``."""
         try:
-            return self._by_xid[xid]
+            return self._xid_map()[xid]
         except KeyError:
             raise InvalidDatabaseError(f"unknown x-tuple id {xid!r}") from None
 
     def tuple(self, tid: str) -> ProbabilisticTuple:
         """Return the tuple with identifier ``tid``."""
         try:
-            return self._by_tid[tid]
+            return self._tuple_maps()[0][tid]
         except KeyError:
             raise InvalidDatabaseError(f"unknown tuple id {tid!r}") from None
 
     def has_xtuple(self, xid: str) -> bool:
         """Whether an x-tuple with identifier ``xid`` exists."""
-        return xid in self._by_xid
+        return xid in self._xid_map()
 
     def insertion_index(self, tid: str) -> int:
         """Position of ``tid`` in the database's insertion order.
 
         Used as the deterministic tie-breaker of the ranking function.
         """
-        return self._insertion_index[tid]
+        return self._tuple_maps()[1][tid]
 
     @property
     def is_complete(self) -> bool:
@@ -152,7 +219,7 @@ class ProbabilisticDatabase:
         Definition 5 -- compare Tables I and II, where cleaning ``S3``
         turns ``udb1`` into ``udb2``).
         """
-        if xid not in self._by_xid:
+        if xid not in self._xid_map():
             raise InvalidDatabaseError(f"unknown x-tuple id {xid!r}")
         if replacement.xid != xid:
             raise InvalidDatabaseError(
@@ -166,6 +233,131 @@ class ProbabilisticDatabase:
     def ranked(self, ranking: Optional[RankingFunction] = None) -> "RankedDatabase":
         """Pre-sort the database under ``ranking`` (default: by value)."""
         return RankedDatabase(self, ranking or by_value())
+
+
+@dataclass(frozen=True, eq=False)
+class RankDelta:
+    """How one x-tuple swap moved the ranked view's rows.
+
+    Produced by :meth:`RankedDatabase.with_xtuple_replaced` /
+    :meth:`RankedDatabase.with_xtuple_removed`; consumed by the delta
+    PSR kernels and :meth:`repro.queries.engine.QuerySession.derive`.
+
+    Attributes
+    ----------
+    old_ranked / new_ranked:
+        The view the delta was derived from and the patched view.
+    xid:
+        Identifier of the swapped x-tuple.
+    old_index:
+        Its dense x-tuple index in the old view.
+    new_index:
+        Its dense index in the new view, or ``None`` when removed.  On
+        removal every dense index above ``old_index`` shifts down by
+        one (see :meth:`map_xtuple_index`).
+    removed_rows / inserted_rows:
+        Rank positions of the old members (old coordinates) and the new
+        members (new coordinates), both ascending.
+    window_start:
+        First rank position whose PSR inputs moved; rows above it are
+        bitwise identical between the views.
+    tail_old / tail_new:
+        Matching rank positions from which the two views' scan states
+        coincide again -- every old row at or below ``tail_old`` equals
+        the new row shifted to ``tail_new`` coordinates.  ``None`` when
+        the swap's effect extends to the bottom of the ranking (the old
+        or new x-tuple never saturates, so its factor never leaves the
+        Poisson-binomial product).
+    """
+
+    old_ranked: "RankedDatabase"
+    new_ranked: "RankedDatabase"
+    xid: str
+    old_index: int
+    new_index: Optional[int]
+    removed_rows: np.ndarray
+    inserted_rows: np.ndarray
+    window_start: int
+    tail_old: Optional[int]
+    tail_new: Optional[int]
+
+    @property
+    def row_offset(self) -> int:
+        """``new row - old row`` for rows below the affected window."""
+        return int(self.inserted_rows.size - self.removed_rows.size)
+
+    def map_xtuple_index(self, l: int) -> int:
+        """Old dense x-tuple index ``l`` expressed in new-view indexing."""
+        if self.new_index is None and l > self.old_index:
+            return l - 1
+        return l
+
+
+def _splice_list(items: List, removed: np.ndarray, positions: np.ndarray, values: List) -> List:
+    """``items`` with rows ``removed`` dropped and ``values`` inserted.
+
+    ``positions`` are insertion points relative to the survivor list
+    (``np.insert`` semantics).  Slice-level copying keeps the whole
+    splice at C speed -- the per-probe cost that matters on the
+    cleaning hot path.
+    """
+    out: List = []
+    prev = 0
+    for r in removed.tolist():
+        out.extend(items[prev:r])
+        prev = r + 1
+    out.extend(items[prev:])
+    for offset, (pos, value) in enumerate(zip(positions.tolist(), values)):
+        out.insert(pos + offset, value)
+    return out
+
+
+class _OrderPatch:
+    """A deferred splice of a ranked ``order`` list.
+
+    The tuple-object list is the one column nothing on the cleaning hot
+    path reads -- the kernels consume the numeric arrays -- so patched
+    views record the splice and materialize only when (and if) someone
+    asks for ``order`` / ``position``.  Holds the *parent's order
+    state* (a list, or another pending patch), never the parent view
+    itself, so dropped intermediate snapshots stay collectable.
+    """
+
+    __slots__ = ("parent", "removed", "positions", "values")
+
+    def __init__(self, parent, removed, positions, values):
+        self.parent = parent
+        self.removed = removed
+        self.positions = positions
+        self.values = values
+
+    def materialize(self) -> List[ProbabilisticTuple]:
+        # Collapse the whole pending chain iteratively (chains grow one
+        # link per probe; recursion would hit limits on long runs).
+        chain = [self]
+        parent = self.parent
+        while isinstance(parent, _OrderPatch):
+            chain.append(parent)
+            parent = parent.parent
+        items = parent
+        for patch in reversed(chain):
+            items = _splice_list(
+                items, patch.removed, patch.positions, patch.values
+            )
+        return items
+
+
+def _scan_saturates(probabilities: np.ndarray) -> bool:
+    """Whether the PSR scan treats this member mass as saturated.
+
+    Replicates the scan's own accumulation (sequential adds in rank
+    order, clamped at one) rather than ``fsum``, so the delta layer's
+    saturation decision can never disagree with the kernels'.
+    """
+    mass = 0.0
+    for e in probabilities:
+        mass = min(1.0, mass + float(e))
+    return mass >= 1.0 - SATURATION_EPSILON
 
 
 class RankedDatabase:
@@ -200,17 +392,17 @@ class RankedDatabase:
         # tie-break: lexsort's last key dominates.
         insertion = np.arange(len(tuples), dtype=np.int64)
         perm = np.lexsort((insertion, -raw_scores))
-        self.order: List[ProbabilisticTuple] = [tuples[i] for i in perm]
+        self._order_state: Union[List[ProbabilisticTuple], _OrderPatch] = [
+            tuples[i] for i in perm
+        ]
         self.scores_array: np.ndarray = np.ascontiguousarray(raw_scores[perm])
-        self.position: Dict[str, int] = {
-            t.tid: i for i, t in enumerate(self.order)
-        }
-        self._xid_to_index: Dict[str, int] = {
-            xt.xid: l for l, xt in enumerate(db.xtuples)
-        }
+        #: Insertion index of each ranked row -- the sort's tie-break
+        #: key, kept so patched derivations can replicate it exactly.
+        self.insertion_array: np.ndarray = np.ascontiguousarray(perm)
+        xid_to_index = {xt.xid: l for l, xt in enumerate(db.xtuples)}
         self.xtuple_ids: List[str] = [xt.xid for xt in db.xtuples]
         self.xtuple_indices_array: np.ndarray = np.array(
-            [self._xid_to_index[t.xtuple_id] for t in self.order],
+            [xid_to_index[t.xtuple_id] for t in self.order],
             dtype=np.int64,
         )
         self.probabilities_array: np.ndarray = np.array(
@@ -219,15 +411,71 @@ class RankedDatabase:
         self.completion_array: np.ndarray = np.array(
             [xt.completion_probability for xt in db.xtuples], dtype=np.float64
         )
-        # Lazily materialized list views of the canonical arrays.
+        self._xid_to_index_map: Optional[Dict[str, int]] = xid_to_index
+        # Lazily materialized views (rebuilt on demand after patching).
+        self._position: Optional[Dict[str, int]] = None
         self._scores_list: Optional[List[float]] = None
         self._xtuple_indices_list: Optional[List[int]] = None
         self._probabilities_list: Optional[List[float]] = None
         self._completion_list: Optional[List[float]] = None
 
+    @classmethod
+    def _patched(
+        cls,
+        db: ProbabilisticDatabase,
+        ranking: RankingFunction,
+        order: List[ProbabilisticTuple],
+        scores: np.ndarray,
+        insertion: np.ndarray,
+        xtuple_indices: np.ndarray,
+        probabilities: np.ndarray,
+        completion: np.ndarray,
+        xtuple_ids: List[str],
+        xid_to_index: Optional[Dict[str, int]],
+    ) -> "RankedDatabase":
+        """Assemble a ranked view directly from patched columnar arrays."""
+        self = cls.__new__(cls)
+        self.db = db
+        self.ranking = ranking
+        self._order_state = order
+        self.scores_array = scores
+        self.insertion_array = insertion
+        self.xtuple_indices_array = xtuple_indices
+        self.probabilities_array = probabilities
+        self.completion_array = completion
+        self.xtuple_ids = xtuple_ids
+        self._xid_to_index_map = xid_to_index
+        self._position = None
+        self._scores_list = None
+        self._xtuple_indices_list = None
+        self._probabilities_list = None
+        self._completion_list = None
+        return self
+
     # ------------------------------------------------------------------
     # List views (back-compat API over the canonical arrays)
     # ------------------------------------------------------------------
+    @property
+    def order(self) -> List[ProbabilisticTuple]:
+        """The ranked tuple objects (materialized lazily after patches)."""
+        if isinstance(self._order_state, _OrderPatch):
+            self._order_state = self._order_state.materialize()
+        return self._order_state
+
+    @property
+    def position(self) -> Dict[str, int]:
+        """``tid -> rank position`` (built lazily)."""
+        if self._position is None:
+            self._position = {t.tid: i for i, t in enumerate(self.order)}
+        return self._position
+
+    @property
+    def _xid_to_index(self) -> Dict[str, int]:
+        if self._xid_to_index_map is None:
+            self._xid_to_index_map = {
+                xid: l for l, xid in enumerate(self.xtuple_ids)
+            }
+        return self._xid_to_index_map
     @property
     def scores(self) -> List[float]:
         """Ranking scores as a plain list (view of ``scores_array``)."""
@@ -309,3 +557,307 @@ class RankedDatabase:
                 dp[j] = dp[j] * (1.0 - q) + dp[j - 1] * q
             dp[0] *= 1.0 - q
         return math.fsum(dp)
+
+    # ------------------------------------------------------------------
+    # Incremental derivation (array patching; no re-sort)
+    # ------------------------------------------------------------------
+    def _member_rows(self, l: int) -> np.ndarray:
+        """Ascending rank positions of x-tuple ``l``'s members."""
+        return np.nonzero(self.xtuple_indices_array == l)[0]
+
+    def _insert_positions(
+        self,
+        kept_scores: np.ndarray,
+        kept_insertion: np.ndarray,
+        scores: np.ndarray,
+        insertion: np.ndarray,
+    ) -> np.ndarray:
+        """Where each new member lands among the surviving rows.
+
+        Survivors are already sorted by the canonical ``(-score,
+        insertion)`` key, so a binary search on the negated scores
+        narrows each insert to its score-tie block and a second search
+        on the insertion indices places it inside the block -- exactly
+        where a full ``lexsort`` would put it.
+        """
+        negated = -kept_scores
+        positions = np.empty(len(scores), dtype=np.int64)
+        for j, (score, ins) in enumerate(zip(scores, insertion)):
+            lo = int(np.searchsorted(negated, -score, side="left"))
+            hi = int(np.searchsorted(negated, -score, side="right"))
+            positions[j] = lo + int(
+                np.searchsorted(kept_insertion[lo:hi], ins)
+            )
+        return positions
+
+    def _collapse_patch(
+        self,
+        replacement: XTuple,
+        l: int,
+        removed: np.ndarray,
+        offset_l: int,
+        r_rev: int,
+    ) -> Tuple["RankedDatabase", "RankDelta"]:
+        """Fast path for Definition 5's collapse-to-certain replacement.
+
+        The revealed alternative keeps its tid, value and insertion
+        slot, so its rank is its old rank minus the siblings removed
+        above it -- no binary search needed, and every column outside
+        the member span is a contiguous shifted copy (two ``memcpy``
+        slices per column instead of whole-array fancy indexing).  This
+        is the per-probe O(n) patch on the cleaning hot path.
+        """
+        member = replacement.alternatives[0]
+        c_old = int(removed.size)
+        p = r_rev - int(np.searchsorted(removed, r_rev))
+        n_old = len(self.scores_array)
+        n_new = n_old - c_old + 1
+        w0 = int(removed[0])
+        b_old = int(removed[-1]) + 1
+        b_new = b_old - c_old + 1
+        survivor_mask = np.ones(b_old - w0, dtype=bool)
+        survivor_mask[removed - w0] = False
+
+        def splice(arr, value):
+            out = np.empty(n_new, dtype=arr.dtype)
+            out[:w0] = arr[:w0]
+            out[b_new:] = arr[b_old:]
+            window = arr[w0:b_old][survivor_mask]
+            out[w0:p] = window[: p - w0]
+            out[p] = value
+            out[p + 1 : b_new] = window[p - w0 :]
+            return out
+
+        scores = splice(self.scores_array, self.scores_array[r_rev])
+        probabilities = splice(self.probabilities_array, 1.0)
+        xtuple_indices = splice(self.xtuple_indices_array, l)
+        insertion = splice(self.insertion_array, offset_l)
+        if c_old > 1:
+            insertion[insertion >= offset_l + c_old] += 1 - c_old
+        completion = self.completion_array.copy()
+        completion[l] = replacement.completion_probability
+
+        old_xtuples = self.db.xtuples
+        new_db = ProbabilisticDatabase._derived(
+            old_xtuples[:l] + (replacement,) + old_xtuples[l + 1 :],
+            self.db.name,
+            self.db.num_tuples - c_old + 1,
+        )
+        inserted = np.array([p], dtype=np.int64)
+        new_ranked = RankedDatabase._patched(
+            db=new_db,
+            ranking=self.ranking,
+            order=_OrderPatch(self._order_state, removed, inserted, [member]),
+            scores=scores,
+            insertion=insertion,
+            xtuple_indices=xtuple_indices,
+            probabilities=probabilities,
+            completion=completion,
+            xtuple_ids=self.xtuple_ids,
+            xid_to_index=self._xid_to_index_map,
+        )
+        tail_old = tail_new = None
+        if _scan_saturates(self.probabilities_array[removed]):
+            # The certain replacement always saturates; equalization
+            # needs the old x-tuple to saturate too.
+            tail_old, tail_new = b_old, b_new
+        delta = RankDelta(
+            old_ranked=self,
+            new_ranked=new_ranked,
+            xid=replacement.xid,
+            old_index=l,
+            new_index=l,
+            removed_rows=removed,
+            inserted_rows=inserted,
+            window_start=w0,
+            tail_old=tail_old,
+            tail_new=tail_new,
+        )
+        return new_ranked, delta
+
+    def with_xtuple_replaced(
+        self, xid: str, replacement: XTuple
+    ) -> Tuple["RankedDatabase", "RankDelta"]:
+        """Derive the ranked view of ``db.with_xtuple_replaced(...)``.
+
+        Patches the columnar arrays in O(n) -- delete the old members'
+        rows, binary-search the replacement's rows in -- instead of
+        re-ranking from scratch, and returns the patched view together
+        with the :class:`RankDelta` describing which rank window moved.
+        The patched view is exactly (bitwise) the view a cold
+        ``RankedDatabase`` construction over the new database would
+        produce.
+        """
+        if replacement.xid != xid:
+            raise InvalidDatabaseError(
+                f"replacement x-tuple has id {replacement.xid!r}, expected {xid!r}"
+            )
+        l = self.xtuple_index_of(xid)
+        removed = self._member_rows(l)
+        c_old = int(removed.size)
+        offset_l = int(self.insertion_array[removed].min())
+        alts = replacement.alternatives
+        c_new = len(alts)
+
+        if c_new == 1 and replacement.is_certain:
+            old_members = self.db.xtuple(xid).alternatives
+            member = alts[0]
+            for j, t in enumerate(old_members):
+                if t.tid == member.tid and t.value == member.value:
+                    rev_rows = removed[
+                        self.insertion_array[removed] == offset_l + j
+                    ]
+                    r_rev = int(rev_rows[0])
+                    if self.ranking(member) == self.scores_array[r_rev]:
+                        # Probability-blind ranking (the normal case):
+                        # the revealed alternative keeps its rank slot.
+                        return self._collapse_patch(
+                            replacement, l, removed, offset_l, r_rev
+                        )
+                    break
+
+        # General path: replacement members may carry fresh tids, so
+        # mirror ProbabilisticDatabase.__init__'s cross-x-tuple
+        # uniqueness check (the collapse fast path above reuses an own
+        # tid and needs none).
+        for t in alts:
+            if t.tid in self.db and self.db.tuple(t.tid).xtuple_id != xid:
+                raise InvalidDatabaseError(
+                    f"duplicate tuple id {t.tid!r} across x-tuples"
+                )
+
+        n_old = len(self.scores_array)
+        survivors = np.delete(np.arange(n_old, dtype=np.int64), removed)
+        kept_scores = self.scores_array[survivors]
+        kept_ins = self.insertion_array[survivors]
+        if c_new != c_old:
+            kept_ins = np.where(
+                kept_ins >= offset_l + c_old, kept_ins + (c_new - c_old), kept_ins
+            )
+
+        new_scores = np.array([self.ranking(t) for t in alts], dtype=np.float64)
+        new_ins = offset_l + np.arange(c_new, dtype=np.int64)
+        member_order = np.lexsort((new_ins, -new_scores))
+        new_scores = new_scores[member_order]
+        new_ins = new_ins[member_order]
+        new_probs = np.array(
+            [alts[j].probability for j in member_order], dtype=np.float64
+        )
+        members = [alts[j] for j in member_order]
+
+        positions = self._insert_positions(
+            kept_scores, kept_ins, new_scores, new_ins
+        )
+        inserted = positions + np.arange(c_new, dtype=np.int64)
+
+        # One source-index gather per float/int column: new row i takes
+        # old row source[i], with the inserted rows scattered on top.
+        source = np.insert(survivors, positions, 0)
+        scores = self.scores_array[source]
+        scores[inserted] = new_scores
+        insertion = np.insert(kept_ins, positions, new_ins)
+        xtuple_indices = self.xtuple_indices_array[source]
+        xtuple_indices[inserted] = l
+        probabilities = self.probabilities_array[source]
+        probabilities[inserted] = new_probs
+
+        completion = self.completion_array.copy()
+        completion[l] = replacement.completion_probability
+
+        old_xtuples = self.db.xtuples
+        new_db = ProbabilisticDatabase._derived(
+            old_xtuples[:l] + (replacement,) + old_xtuples[l + 1 :],
+            self.db.name,
+            self.db.num_tuples - c_old + c_new,
+        )
+        new_ranked = RankedDatabase._patched(
+            db=new_db,
+            ranking=self.ranking,
+            order=_OrderPatch(self._order_state, removed, positions, members),
+            scores=scores,
+            insertion=insertion,
+            xtuple_indices=xtuple_indices,
+            probabilities=probabilities,
+            completion=completion,
+            xtuple_ids=self.xtuple_ids,
+            xid_to_index=self._xid_to_index,
+        )
+
+        window_start = int(min(removed[0], inserted[0]))
+        tail_old = tail_new = None
+        if _scan_saturates(
+            self.probabilities_array[removed]
+        ) and _scan_saturates(new_probs):
+            # Both the old and the new x-tuple saturate once fully
+            # scanned: below the last member of either, each view sees
+            # the factor as one guaranteed higher-ranked tuple, so the
+            # scans coincide again.
+            tail_new = max(int(inserted[-1]) + 1, int(removed[-1]) + 1 - c_old + c_new)
+            tail_old = tail_new - c_new + c_old
+        delta = RankDelta(
+            old_ranked=self,
+            new_ranked=new_ranked,
+            xid=xid,
+            old_index=l,
+            new_index=l,
+            removed_rows=removed,
+            inserted_rows=inserted,
+            window_start=window_start,
+            tail_old=tail_old,
+            tail_new=tail_new,
+        )
+        return new_ranked, delta
+
+    def with_xtuple_removed(
+        self, xid: str
+    ) -> Tuple["RankedDatabase", "RankDelta"]:
+        """Derive the ranked view with one x-tuple deleted outright.
+
+        The revealed-null outcome of a cleaning probe: the entity is
+        now certain to contribute nothing, so its rows are spliced out
+        of the arrays and its dense index vacated (indices above it
+        shift down by one).  Returns the patched view and the delta.
+        """
+        l = self.xtuple_index_of(xid)
+        removed = self._member_rows(l)
+        c_old = int(removed.size)
+        offset_l = int(self.insertion_array[removed].min())
+
+        kept_ins = np.delete(self.insertion_array, removed)
+        kept_ins[kept_ins >= offset_l + c_old] -= c_old
+        kept_xidx = np.delete(self.xtuple_indices_array, removed)
+        kept_xidx[kept_xidx > l] -= 1
+
+        old_xtuples = self.db.xtuples
+        new_db = ProbabilisticDatabase._derived(
+            old_xtuples[:l] + old_xtuples[l + 1 :],
+            self.db.name,
+            self.db.num_tuples - c_old,
+        )
+        new_ranked = RankedDatabase._patched(
+            db=new_db,
+            ranking=self.ranking,
+            order=_OrderPatch(
+                self._order_state, removed, np.zeros(0, dtype=np.int64), []
+            ),
+            scores=np.delete(self.scores_array, removed),
+            insertion=kept_ins,
+            xtuple_indices=kept_xidx,
+            probabilities=np.delete(self.probabilities_array, removed),
+            completion=np.delete(self.completion_array, l),
+            xtuple_ids=self.xtuple_ids[:l] + self.xtuple_ids[l + 1 :],
+            xid_to_index=None,
+        )
+        delta = RankDelta(
+            old_ranked=self,
+            new_ranked=new_ranked,
+            xid=xid,
+            old_index=l,
+            new_index=None,
+            removed_rows=removed,
+            inserted_rows=np.zeros(0, dtype=np.int64),
+            window_start=int(removed[0]),
+            tail_old=None,
+            tail_new=None,
+        )
+        return new_ranked, delta

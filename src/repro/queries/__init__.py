@@ -23,7 +23,11 @@ from repro.queries.engine import (
     evaluate,
     evaluate_without_sharing,
 )
-from repro.queries.psr import RankProbabilities, compute_rank_probabilities
+from repro.queries.psr import (
+    RankProbabilities,
+    apply_rank_delta,
+    compute_rank_probabilities,
+)
 from repro.queries.range_query import (
     RangeAnswer,
     RangeQualityResult,
@@ -34,6 +38,7 @@ from repro.queries.range_query import (
 
 __all__ = [
     "RankProbabilities",
+    "apply_rank_delta",
     "compute_rank_probabilities",
     "EvaluationReport",
     "QuerySession",

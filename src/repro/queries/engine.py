@@ -31,8 +31,14 @@ cleaning, call :meth:`QuerySession.derive` with the cleaned snapshot:
 it returns a fresh session sharing the ranking/backend configuration
 -- or the *same* session (cache intact) when the snapshot is
 identical, which is what makes failed-probe rounds of adaptive
-cleaning O(answer-extraction).  Sessions are not thread-safe; share
-them within one evaluation pipeline, not across threads.
+cleaning O(answer-extraction).  When the snapshot was derived through
+``RankedDatabase.with_xtuple_replaced`` / ``with_xtuple_removed``,
+pass the resulting :class:`~repro.db.database.RankDelta` as
+``derive(..., delta=...)`` and the new session *patches* its memoized
+PSR state and quality instead of starting cold -- the incremental
+path the cleaning executor threads per successful probe.  Sessions are
+not thread-safe; share them within one evaluation pipeline, not
+across threads.
 """
 
 from __future__ import annotations
@@ -41,12 +47,23 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.backend import resolve_backend
-from repro.core.tp import TPQualityResult, compute_quality_tp
-from repro.db.database import ProbabilisticDatabase, RankedDatabase
+from repro.core.tp import (
+    SUPPORT_TOLERANCE,
+    TPQualityResult,
+    compute_quality_tp,
+    patch_quality_tp,
+    short_result_probability,
+)
+from repro.exceptions import InvalidQueryError
+from repro.db.database import ProbabilisticDatabase, RankDelta, RankedDatabase
 from repro.db.ranking import RankingFunction
 from repro.queries import global_topk, ptk, ukranks
 from repro.queries.answers import GlobalTopkAnswer, PTkAnswer, UkRanksAnswer
-from repro.queries.psr import RankProbabilities, compute_rank_probabilities
+from repro.queries.psr import (
+    RankProbabilities,
+    apply_rank_delta,
+    compute_rank_probabilities,
+)
 
 
 @dataclass(frozen=True)
@@ -112,26 +129,89 @@ class QuerySession:
         self._global_topk: Dict[int, GlobalTopkAnswer] = {}
         self._ptk: Dict[Tuple[int, float], PTkAnswer] = {}
         #: (hits, misses) of the PSR cache -- the expensive resource.
+        #: Counters are cumulative along a ``derive`` chain: a session
+        #: derived from this one starts from these totals, so the final
+        #: session of a cleaning run reports the whole run's cost.
         self.psr_hits = 0
         self.psr_misses = 0
+        #: Cached PSR results carried across a delta derivation by
+        #: incremental patching (one count per cached ``k``).
+        self.psr_patches = 0
+        #: ``derive`` calls that started a cold session / patched one.
+        self.cold_derives = 0
+        self.delta_derives = 0
 
     @property
     def db(self) -> ProbabilisticDatabase:
         return self.ranked.db
 
+    def _adopt_counters(self, parent: "QuerySession") -> None:
+        self.psr_hits = parent.psr_hits
+        self.psr_misses = parent.psr_misses
+        self.psr_patches = parent.psr_patches
+        self.cold_derives = parent.cold_derives
+        self.delta_derives = parent.delta_derives
+
     def derive(
-        self, db: Union[ProbabilisticDatabase, RankedDatabase]
+        self,
+        db: Union[ProbabilisticDatabase, RankedDatabase],
+        delta: Optional[RankDelta] = None,
     ) -> "QuerySession":
         """A session over ``db`` with this session's configuration.
 
         Returns ``self`` (cache and all) when ``db`` is this session's
         own snapshot -- the no-op transition of a cleaning round where
         every probe failed.
+
+        With a :class:`~repro.db.database.RankDelta` (produced by
+        ``RankedDatabase.with_xtuple_replaced`` / ``with_xtuple_removed``
+        against this session's ranked view), the derived session does
+        not start cold: every memoized :class:`RankProbabilities` is
+        patched through :func:`~repro.queries.psr.apply_rank_delta`
+        (O(k · affected-window) instead of a fresh O(kn) pass) and the
+        quality / ``g(l, D)`` arrays are rebuilt from the patched PSR
+        output.  Counters (``psr_hits`` / ``psr_misses`` /
+        ``psr_patches`` / ``cold_derives`` / ``delta_derives``) carry
+        over cumulatively so the end of a cleaning run reports how many
+        full passes the whole run cost.
         """
         if db is self.ranked.db or db is self.ranked:
             return self
-        ranking = None if isinstance(db, RankedDatabase) else self.ranked.ranking
-        return QuerySession(db, ranking=ranking, backend=self.backend)
+        if delta is None:
+            ranking = (
+                None if isinstance(db, RankedDatabase) else self.ranked.ranking
+            )
+            derived = QuerySession(db, ranking=ranking, backend=self.backend)
+            derived._adopt_counters(self)
+            derived.cold_derives += 1
+            return derived
+        if delta.old_ranked is not self.ranked:
+            raise ValueError(
+                "delta was not derived from this session's ranked view"
+            )
+        if db is not delta.new_ranked and db is not delta.new_ranked.db:
+            raise ValueError("delta does not lead to the requested database")
+        derived = QuerySession(delta.new_ranked, backend=self.backend)
+        derived._adopt_counters(self)
+        derived.delta_derives += 1
+        for k, rank_probs in self._rank_probabilities.items():
+            patched = apply_rank_delta(rank_probs, delta, backend=self.backend)
+            derived._rank_probabilities[k] = patched
+            derived.psr_patches += 1
+            cached_quality = self._quality.get(k)
+            if cached_quality is not None:
+                # Weights are row-local (own-sibling masses only), so
+                # the quality patches by splicing the swapped rows out
+                # of the weight vector -- O(n) memcpy plus one dot.
+                patched_quality = patch_quality_tp(
+                    cached_quality, patched, delta, backend=self.backend
+                )
+                if patched_quality is not None:
+                    derived._quality[k] = patched_quality
+        # Whatever was not patched (answers, the rare unsupported
+        # quality case) rebuilds lazily from the patched PSR output on
+        # first use.
+        return derived
 
     # ------------------------------------------------------------------
     # Cached primitives
@@ -148,9 +228,23 @@ class QuerySession:
         return computed
 
     def quality(self, k: int, check_support: bool = False) -> TPQualityResult:
-        """The memoized TP quality at ``k`` (shares the PSR pass)."""
+        """The memoized TP quality at ``k`` (shares the PSR pass).
+
+        ``check_support`` verifies Theorem 1's full-length-result
+        assumption even when the quality itself is served from cache
+        (delta derivations pre-seed the cache, so the check must not
+        depend on a cache miss).
+        """
         cached = self._quality.get(k)
         if cached is not None:
+            if check_support:
+                shortfall = short_result_probability(self.ranked, k)
+                if shortfall > SUPPORT_TOLERANCE:
+                    raise InvalidQueryError(
+                        f"possible worlds yield fewer than k={k} real tuples "
+                        f"with probability {shortfall:.3g}; Theorem 1 (TP) "
+                        f"does not apply -- use PWR or PW instead"
+                    )
             return cached
         result = compute_quality_tp(
             self.ranked,
