@@ -1,7 +1,7 @@
 """repro: reproduction of "Cleaning Uncertain Data for Top-k Queries"
 (Mo, Cheng, Li, Cheung, Yang -- ICDE 2013).
 
-The library has four layers:
+The library has five layers:
 
 * :mod:`repro.db` -- the x-tuple probabilistic database model, ranking,
   possible-world semantics, serialization;
@@ -13,20 +13,38 @@ The library has four layers:
   (Theorem 1), and a Monte-Carlo estimator;
 * :mod:`repro.cleaning` -- budgeted cleaning (Section V): the optimal
   DP planner, the Greedy / RandP / RandU heuristics, plan execution,
-  and the inverse/adaptive extensions.
+  and the inverse/adaptive extensions;
+* :mod:`repro.api` -- the serving façade: declarative request specs
+  over a thread-safe :class:`SessionPool` of content-hash-identified
+  snapshots, with batch execution sharing one PSR pass and cleaning
+  outcomes registered as new snapshots.
 
 Quickstart
 ----------
->>> from repro import datasets, evaluate, build_cleaning_problem, GreedyCleaner
->>> db = datasets.udb1()
->>> report = evaluate(db, k=2, threshold=0.4)
->>> report.ptk.tids
+>>> from repro import TopKService, QuerySpec, CleaningSpec, datasets
+>>> service = TopKService()
+>>> sid = service.register(datasets.udb1()).snapshot_id
+>>> report = service.query(sid, QuerySpec(k=2, threshold=0.4))
+>>> [tid for tid, _ in report.payload["ptk"]["members"]]
 ['t1', 't2', 't5']
->>> round(report.quality_score, 2)
+>>> round(report.payload["quality"], 2)
 -2.55
 """
 
-from repro import cleaning, core, datasets, db, queries
+import warnings
+
+from repro import api, cleaning, core, datasets, db, queries
+from repro.api import (
+    BatchSpec,
+    CleaningSpec,
+    QualitySpec,
+    QuerySpec,
+    ServiceResult,
+    SessionPool,
+    TopKService,
+    snapshot_id_of,
+    spec_from_dict,
+)
 from repro.cleaning import (
     CleaningPlan,
     CleaningProblem,
@@ -64,17 +82,62 @@ from repro.exceptions import (
     InvalidCleaningProblemError,
     InvalidDatabaseError,
     InvalidQueryError,
+    InvalidSpecError,
     ReproError,
+    UnknownSnapshotError,
+    UnknownXTupleError,
 )
 from repro.queries import (
     EvaluationReport,
     QuerySession,
     compute_rank_probabilities,
-    evaluate,
-    evaluate_without_sharing,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+#: Legacy top-level entry points superseded by the :mod:`repro.api`
+#: façade.  They remain importable here through a module
+#: ``__getattr__`` shim that emits a :class:`DeprecationWarning` once
+#: per name; their canonical homes (``repro.queries.engine``) stay
+#: warning-free for direct library use.
+_DEPRECATED_ENTRY_POINTS = {
+    "evaluate": (
+        "repro.queries.engine",
+        "use repro.TopKService / repro.QuerySession (or import it from "
+        "repro.queries) instead",
+    ),
+    "evaluate_without_sharing": (
+        "repro.queries.engine",
+        "use repro.TopKService / repro.QuerySession (or import it from "
+        "repro.queries) instead",
+    ),
+}
+
+_warned_entry_points = set()
+
+
+def __getattr__(name):
+    """Deprecation shim for legacy top-level entry points.
+
+    Serves the names in :data:`_DEPRECATED_ENTRY_POINTS` from their
+    canonical modules, emitting one :class:`DeprecationWarning` per
+    name per process.
+    """
+    target = _DEPRECATED_ENTRY_POINTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, advice = target
+    if name not in _warned_entry_points:
+        _warned_entry_points.add(name)
+        warnings.warn(
+            f"repro.{name} is deprecated; {advice}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
 
 __all__ = [
     "__version__",
@@ -84,6 +147,17 @@ __all__ = [
     "core",
     "cleaning",
     "datasets",
+    "api",
+    # service façade (canonical entry points)
+    "TopKService",
+    "SessionPool",
+    "ServiceResult",
+    "QuerySpec",
+    "QualitySpec",
+    "CleaningSpec",
+    "BatchSpec",
+    "spec_from_dict",
+    "snapshot_id_of",
     # database model
     "ProbabilisticDatabase",
     "RankedDatabase",
@@ -93,8 +167,8 @@ __all__ = [
     "RankingFunction",
     "by_value",
     # queries
-    "evaluate",
-    "evaluate_without_sharing",
+    "evaluate",  # deprecated shim
+    "evaluate_without_sharing",  # deprecated shim
     "EvaluationReport",
     "QuerySession",
     "compute_rank_probabilities",
@@ -125,5 +199,8 @@ __all__ = [
     "InvalidDatabaseError",
     "InvalidQueryError",
     "InvalidCleaningProblemError",
+    "InvalidSpecError",
+    "UnknownXTupleError",
+    "UnknownSnapshotError",
     "InfeasibleTargetError",
 ]

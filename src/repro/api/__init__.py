@@ -1,0 +1,46 @@
+"""Service façade: declarative requests over pooled, immutable snapshots.
+
+This package is the canonical *serving* surface of the library -- the
+stable API a server, shard router or async layer builds on:
+
+* :mod:`repro.api.specs` -- frozen request dataclasses
+  (:class:`QuerySpec`, :class:`QualitySpec`, :class:`CleaningSpec`,
+  :class:`BatchSpec`), JSON round-trippable via ``to_dict`` /
+  ``from_dict`` / :func:`spec_from_dict`;
+* :mod:`repro.api.results` -- the uniform :class:`ServiceResult`
+  response envelope (payload + snapshot id + timing/cache counters);
+* :mod:`repro.api.pool` -- :class:`SessionPool`, the thread-safe
+  registry of content-hash-identified snapshots with per-snapshot
+  session leases and LRU-bounded memoization;
+* :mod:`repro.api.service` -- :class:`TopKService`, the façade tying
+  them together (batch execution shares one max-k PSR pass; cleaning
+  registers outcomes as new snapshots through the delta engine).
+
+The layers underneath (:mod:`repro.db`, :mod:`repro.queries`,
+:mod:`repro.core`, :mod:`repro.cleaning`) stay importable for direct
+library use; this package adds no algorithmic behaviour, only the
+concurrent, wire-ready surface.
+"""
+
+from repro.api.pool import SessionPool, snapshot_id_of
+from repro.api.results import ServiceResult
+from repro.api.service import TopKService
+from repro.api.specs import (
+    BatchSpec,
+    CleaningSpec,
+    QualitySpec,
+    QuerySpec,
+    spec_from_dict,
+)
+
+__all__ = [
+    "TopKService",
+    "SessionPool",
+    "ServiceResult",
+    "QuerySpec",
+    "QualitySpec",
+    "CleaningSpec",
+    "BatchSpec",
+    "spec_from_dict",
+    "snapshot_id_of",
+]

@@ -1,0 +1,223 @@
+"""Thread-safe snapshot registry and :class:`QuerySession` pool.
+
+:class:`~repro.queries.engine.QuerySession` is deliberately not
+thread-safe -- it memoizes PSR state behind plain dict lookups.  The
+pool makes sessions safe to serve concurrently by construction:
+
+* **Snapshots** are immutable ranked databases registered under their
+  content hash (:meth:`repro.db.database.ProbabilisticDatabase.\
+content_hash`), so registration is idempotent and a snapshot id names
+  one logical database forever.
+* **Sessions** are memoized per snapshot in an LRU map bounded by
+  ``max_sessions``; the *n*-th distinct hot snapshot evicts the least
+  recently leased one (its caches are rebuilt on next lease -- never
+  wrong, only cold).
+* **Leases** hand out a session under that snapshot's private lock
+  (:meth:`SessionPool.lease` is a context manager), so at most one
+  thread touches a given session at a time while different snapshots
+  proceed in parallel.  Registry bookkeeping itself is guarded by one
+  short-held pool lock; no lock is ever held across kernel work of a
+  *different* snapshot.
+
+The pool is the concurrency substrate of
+:class:`~repro.api.service.TopKService`; nothing in it knows about
+specs or results.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Union
+
+from repro.db.database import ProbabilisticDatabase, RankedDatabase
+from repro.db.ranking import RankingFunction, rankings_equivalent
+from repro.exceptions import UnknownSnapshotError
+from repro.queries.engine import QuerySession
+
+#: Default bound on concurrently cached sessions.
+DEFAULT_MAX_SESSIONS = 8
+
+#: Snapshot-id prefix (purely cosmetic; the suffix is the content hash).
+SNAPSHOT_PREFIX = "snap-"
+
+#: Hex digits of the content hash kept in the public snapshot id.
+SNAPSHOT_ID_HEX = 16
+
+
+def snapshot_id_of(db: ProbabilisticDatabase) -> str:
+    """The content-derived snapshot id a database registers under."""
+    return SNAPSHOT_PREFIX + db.content_hash()[:SNAPSHOT_ID_HEX]
+
+
+class SessionPool:
+    """Concurrent registry of snapshots and their cached query sessions.
+
+    Parameters
+    ----------
+    max_sessions:
+        Upper bound on memoized sessions (LRU-evicted beyond it).  The
+        snapshot registry itself is unbounded -- snapshots are the
+        data; sessions are the (re-creatable) caches.
+    ranking:
+        Ranking function applied when a raw database is registered;
+        defaults to by-value.
+    backend:
+        Kernel selection threaded into every pooled session.
+    """
+
+    def __init__(
+        self,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        ranking: Optional[RankingFunction] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        self.max_sessions = max_sessions
+        self.ranking = ranking
+        self.backend = backend
+        self._lock = threading.Lock()
+        self._snapshots: Dict[str, RankedDatabase] = {}
+        self._snapshot_locks: Dict[str, threading.Lock] = {}
+        self._sessions: "OrderedDict[str, QuerySession]" = OrderedDict()
+        #: Lease-level cache telemetry (guarded by the pool lock).
+        self.session_hits = 0
+        self.session_misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Snapshot registry
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        db: Union[ProbabilisticDatabase, RankedDatabase],
+        session: Optional[QuerySession] = None,
+    ) -> str:
+        """Register an immutable snapshot; returns its content-hash id.
+
+        Idempotent: registering equal content returns the same id and
+        keeps the existing ranked view (and any warm session).  An
+        already-ranked view is adopted as-is; a raw database is ranked
+        under the pool's ranking.  Snapshot ids hash *content* only, so
+        re-registering equal content under a ranking that is not
+        demonstrably equivalent to the stored view's (see
+        :func:`repro.db.ranking.rankings_equivalent`) raises
+        ``ValueError`` -- silently answering under the first-registered
+        ranking would return wrong query results.  ``session``
+        optionally seeds the session cache with an already-warm session
+        over the snapshot -- the cleaning path uses this so a
+        delta-derived session (one whose PSR cache was patched, not
+        rebuilt) serves the outcome snapshot's future requests.
+        """
+        ranked = db if isinstance(db, RankedDatabase) else None
+        raw = ranked.db if ranked is not None else db
+        assert isinstance(raw, ProbabilisticDatabase)
+        snapshot_id = snapshot_id_of(raw)
+        incoming = ranked.ranking if ranked is not None else self.ranking
+        with self._lock:
+            stored = self._snapshots.get(snapshot_id)
+            if stored is None:
+                if ranked is None:
+                    ranked = raw.ranked(self.ranking)
+                self._snapshots[snapshot_id] = ranked
+                self._snapshot_locks[snapshot_id] = threading.Lock()
+            elif not rankings_equivalent(stored.ranking, incoming):
+                raise ValueError(
+                    f"snapshot {snapshot_id!r} is already registered under "
+                    f"ranking {stored.ranking!r}; re-registering equal "
+                    f"content under {incoming!r} would silently answer "
+                    f"queries with the wrong ordering"
+                )
+            if session is not None and snapshot_id not in self._sessions:
+                self._store_session(snapshot_id, session)
+        return snapshot_id
+
+    def ranked(self, snapshot_id: str) -> RankedDatabase:
+        """The registered ranked view for a snapshot id."""
+        with self._lock:
+            try:
+                return self._snapshots[snapshot_id]
+            except KeyError:
+                raise UnknownSnapshotError(
+                    f"unknown snapshot id {snapshot_id!r}"
+                ) from None
+
+    def database(self, snapshot_id: str) -> ProbabilisticDatabase:
+        """The registered database for a snapshot id."""
+        return self.ranked(snapshot_id).db
+
+    def __contains__(self, snapshot_id: str) -> bool:
+        with self._lock:
+            return snapshot_id in self._snapshots
+
+    @property
+    def num_snapshots(self) -> int:
+        """Number of registered snapshots."""
+        with self._lock:
+            return len(self._snapshots)
+
+    @property
+    def num_cached_sessions(self) -> int:
+        """Number of memoized sessions (always ``<= max_sessions``)."""
+        with self._lock:
+            return len(self._sessions)
+
+    # ------------------------------------------------------------------
+    # Session leasing
+    # ------------------------------------------------------------------
+    def _store_session(self, snapshot_id: str, session: QuerySession) -> None:
+        """Insert/refresh an LRU entry; caller holds the pool lock."""
+        self._sessions[snapshot_id] = session
+        self._sessions.move_to_end(snapshot_id)
+        while len(self._sessions) > self.max_sessions:
+            self._sessions.popitem(last=False)
+            self.evictions += 1
+
+    @contextmanager
+    def lease(self, snapshot_id: str) -> Iterator[QuerySession]:
+        """Exclusive access to the snapshot's memoized session.
+
+        Acquires the snapshot's private lock for the duration of the
+        ``with`` block, creating (or re-creating, after eviction) the
+        session on a cache miss.  Concurrent leases of *different*
+        snapshots run in parallel; leases of the same snapshot
+        serialize, which is exactly the guarantee
+        :class:`~repro.queries.engine.QuerySession` needs.
+        """
+        with self._lock:
+            try:
+                ranked = self._snapshots[snapshot_id]
+                snapshot_lock = self._snapshot_locks[snapshot_id]
+            except KeyError:
+                raise UnknownSnapshotError(
+                    f"unknown snapshot id {snapshot_id!r}"
+                ) from None
+        with snapshot_lock:
+            with self._lock:
+                session = self._sessions.get(snapshot_id)
+                if session is not None:
+                    self._sessions.move_to_end(snapshot_id)
+                    self.session_hits += 1
+                else:
+                    self.session_misses += 1
+            if session is None:
+                # Built outside the pool lock: construction ranks
+                # nothing (the view exists) but must not block other
+                # snapshots' bookkeeping.
+                session = QuerySession(ranked, backend=self.backend)
+                with self._lock:
+                    self._store_session(snapshot_id, session)
+            yield session
+
+    def clear_sessions(self) -> None:
+        """Drop every memoized session (snapshots stay registered)."""
+        with self._lock:
+            self._sessions.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SessionPool: {self.num_snapshots} snapshots, "
+            f"{self.num_cached_sessions}/{self.max_sessions} sessions>"
+        )

@@ -1,0 +1,467 @@
+""":class:`TopKService`: the declarative request/response façade.
+
+One object owns the whole paper workflow behind four verbs::
+
+    service = TopKService()
+    sid = service.register(db).snapshot_id
+    service.query(sid, QuerySpec(k=15))              # answer semantics
+    service.quality(sid, QualitySpec(k=15))          # score ambiguity
+    out = service.clean(sid, CleaningSpec(k=15, budget=20))
+    new_sid = out.payload["new_snapshot_id"]         # cleaned snapshot
+    service.batch(sid, BatchSpec(items=(...)))       # shared-pass fan-out
+
+Requests are frozen specs (:mod:`repro.api.specs`), responses uniform
+:class:`~repro.api.results.ServiceResult` envelopes, and state lives in
+a :class:`~repro.api.pool.SessionPool` -- immutable snapshots under
+content-hash ids with per-snapshot session leases, so the service is
+safe to call from many threads.  Cleaning never mutates a snapshot:
+executed outcomes are derived through the PR 2 incremental delta path
+and registered as *new* snapshots whose warm (PSR-patched) session is
+seeded into the pool.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.api.pool import SessionPool
+from repro.api.results import ServiceResult
+from repro.api.specs import (
+    BatchSpec,
+    CleaningSpec,
+    QualitySpec,
+    QuerySpec,
+)
+from repro.cleaning.adaptive import clean_adaptively
+from repro.cleaning.base import Cleaner
+from repro.cleaning.dp import DPCleaner
+from repro.cleaning.executor import execute_plan
+from repro.cleaning.greedy import GreedyCleaner
+from repro.cleaning.improvement import expected_improvement
+from repro.cleaning.model import (
+    CleaningPlan,
+    CleaningProblem,
+    build_cleaning_problem,
+)
+from repro.cleaning.random_cleaners import RandPCleaner, RandUCleaner
+from repro.core.quality import compute_quality_detailed
+from repro.datasets.synthetic import generate_costs, generate_sc_probabilities
+from repro.db.database import ProbabilisticDatabase, RankedDatabase
+from repro.db.ranking import RankingFunction
+from repro.queries.engine import QuerySession
+
+_PLANNERS: Dict[str, type] = {
+    "dp": DPCleaner,
+    "greedy": GreedyCleaner,
+    "randp": RandPCleaner,
+    "randu": RandUCleaner,
+}
+
+#: Session counters surfaced (as per-request deltas) in result envelopes.
+_SESSION_COUNTERS = (
+    "psr_hits",
+    "psr_misses",
+    "psr_patches",
+    "psr_prefills",
+    "cold_derives",
+    "delta_derives",
+)
+
+
+def _counters_of(session: QuerySession) -> Dict[str, int]:
+    return {name: getattr(session, name) for name in _SESSION_COUNTERS}
+
+
+def _counter_delta(
+    before: Mapping[str, int], session: QuerySession
+) -> Dict[str, int]:
+    return {
+        name: getattr(session, name) - before[name]
+        for name in _SESSION_COUNTERS
+    }
+
+
+class TopKService:
+    """Thread-safe façade over snapshots, queries, quality and cleaning.
+
+    Parameters
+    ----------
+    pool:
+        The :class:`~repro.api.pool.SessionPool` to serve from; a
+        private one is created when omitted.
+    ranking:
+        Ranking function for raw registered databases (by-value when
+        omitted); forwarded to the private pool only.
+    backend:
+        Kernel selection forwarded to the private pool only.
+    max_sessions:
+        LRU bound of the private pool only.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[SessionPool] = None,
+        ranking: Optional[RankingFunction] = None,
+        backend: Optional[str] = None,
+        max_sessions: Optional[int] = None,
+    ) -> None:
+        if pool is not None and (
+            ranking is not None or backend is not None or max_sessions is not None
+        ):
+            raise ValueError(
+                "pass ranking/backend/max_sessions only when the service "
+                "creates its own pool"
+            )
+        if pool is None:
+            kwargs: Dict[str, Any] = {}
+            if max_sessions is not None:
+                kwargs["max_sessions"] = max_sessions
+            pool = SessionPool(ranking=ranking, backend=backend, **kwargs)
+        self.pool = pool
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def register(
+        self, db: Union[ProbabilisticDatabase, RankedDatabase]
+    ) -> ServiceResult:
+        """Register a database snapshot; idempotent by content hash."""
+        start = time.perf_counter()
+        snapshot_id = self.pool.register(db)
+        ranked = self.pool.ranked(snapshot_id)
+        return ServiceResult(
+            kind="register",
+            snapshot_id=snapshot_id,
+            payload={
+                "num_xtuples": ranked.num_xtuples,
+                "num_tuples": ranked.num_tuples,
+                "name": ranked.db.name,
+            },
+            timing_ms=(time.perf_counter() - start) * 1000.0,
+        )
+
+    def database(self, snapshot_id: str) -> ProbabilisticDatabase:
+        """The immutable database registered under ``snapshot_id``."""
+        return self.pool.database(snapshot_id)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, snapshot_id: str, spec: QuerySpec) -> ServiceResult:
+        """Answer the requested top-k semantics on one snapshot."""
+        start = time.perf_counter()
+        with self.pool.lease(snapshot_id) as session:
+            before = _counters_of(session)
+            payload = self._query_payload(session, spec)
+            counters = _counter_delta(before, session)
+        return ServiceResult(
+            kind="query",
+            snapshot_id=snapshot_id,
+            payload=payload,
+            spec=spec.to_dict(),
+            timing_ms=(time.perf_counter() - start) * 1000.0,
+            counters=counters,
+        )
+
+    def quality(self, snapshot_id: str, spec: QualitySpec) -> ServiceResult:
+        """Score the top-k query's PWS-quality on one snapshot."""
+        start = time.perf_counter()
+        with self.pool.lease(snapshot_id) as session:
+            before = _counters_of(session)
+            payload = self._quality_payload(session, spec)
+            counters = _counter_delta(before, session)
+        return ServiceResult(
+            kind="quality",
+            snapshot_id=snapshot_id,
+            payload=payload,
+            spec=spec.to_dict(),
+            timing_ms=(time.perf_counter() - start) * 1000.0,
+            counters=counters,
+        )
+
+    def batch(self, snapshot_id: str, spec: BatchSpec) -> ServiceResult:
+        """Evaluate many query/quality specs sharing one max-k PSR pass.
+
+        The snapshot's session is prefilled at ``spec.max_k``
+        (:meth:`~repro.queries.engine.QuerySession.prefill`), after
+        which every item -- whatever its ``k`` -- is served from cache:
+        the whole batch costs at most **one** full PSR pass.  The
+        result payload carries one envelope dict per item, in order.
+        """
+        start = time.perf_counter()
+        with self.pool.lease(snapshot_id) as session:
+            before = _counters_of(session)
+            # Only items that ride the PSR cache size the shared pass:
+            # an enumeration/sampling QualitySpec never reads it, so its
+            # (possibly huge) k must not inflate the O(k_max·n) scan.
+            session.prefill(
+                item.k
+                for item in spec.items
+                if isinstance(item, QuerySpec) or item.method == "tp"
+            )
+            items = []
+            for item in spec.items:
+                item_start = time.perf_counter()
+                item_before = _counters_of(session)
+                if isinstance(item, QuerySpec):
+                    kind, payload = "query", self._query_payload(session, item)
+                else:
+                    kind, payload = (
+                        "quality",
+                        self._quality_payload(session, item),
+                    )
+                items.append(
+                    ServiceResult(
+                        kind=kind,
+                        snapshot_id=snapshot_id,
+                        payload=payload,
+                        spec=item.to_dict(),
+                        timing_ms=(time.perf_counter() - item_start) * 1000.0,
+                        counters=_counter_delta(item_before, session),
+                    ).to_dict()
+                )
+            counters = _counter_delta(before, session)
+        return ServiceResult(
+            kind="batch",
+            snapshot_id=snapshot_id,
+            payload={"max_k": spec.max_k, "items": items},
+            spec=spec.to_dict(),
+            timing_ms=(time.perf_counter() - start) * 1000.0,
+            counters=counters,
+        )
+
+    # ------------------------------------------------------------------
+    # Cleaning
+    # ------------------------------------------------------------------
+    def clean(self, snapshot_id: str, spec: CleaningSpec) -> ServiceResult:
+        """Plan -- and with ``spec.execute``, simulate -- cleaning.
+
+        Never mutates the input snapshot.  Executed outcomes are
+        derived probe-by-probe through the incremental delta path and
+        registered as a **new** snapshot (its warm, PSR-patched session
+        seeded into the pool); the payload names it under
+        ``"new_snapshot_id"``.  Plan-only requests leave the registry
+        untouched and report the plan and its expected improvement.
+        """
+        start = time.perf_counter()
+        with self.pool.lease(snapshot_id) as session:
+            before = _counters_of(session)
+            db = session.db
+            costs, sc = self._cleaning_inputs(session.ranked, spec)
+            quality = session.quality(spec.k)
+            problem = build_cleaning_problem(quality, costs, sc, spec.budget)
+            planner: Cleaner = _PLANNERS[spec.planner]()
+            payload: Dict[str, Any] = {
+                "k": spec.k,
+                "budget": spec.budget,
+                "planner": planner.name,
+                "quality_before": quality.quality,
+            }
+            final_session = session
+            if spec.execute and spec.adaptive:
+                # The adaptive loop re-plans every round itself; a
+                # separate upfront plan would double the (possibly
+                # pseudo-polynomial DP) planning cost and describe a
+                # plan the run never executes.  The payload's "plan" is
+                # the first executed round's probe assignment;
+                # "expected_improvement" is omitted.
+                extra, final_session = self._execute_payload(
+                    db, problem, planner, None, session, spec
+                )
+                payload.update(extra)
+            else:
+                plan = planner.plan(problem)
+                payload["plan"] = {
+                    "operations": dict(sorted(plan.operations.items())),
+                    "total_operations": plan.total_operations,
+                    "total_cost": plan.total_cost(problem),
+                }
+                payload["expected_improvement"] = expected_improvement(
+                    problem, plan
+                )
+                if spec.execute:
+                    extra, final_session = self._execute_payload(
+                        db, problem, planner, plan, session, spec
+                    )
+                    payload.update(extra)
+            # Derive chains carry counters cumulatively, so the chain's
+            # last session reports the whole request's evaluation cost.
+            counters = _counter_delta(before, final_session)
+            if spec.execute and final_session is not session:
+                # Publish the outcome snapshot (and its warm patched
+                # session) only after the counters were read: once the
+                # session is in the pool another thread may lease it
+                # and advance those counters concurrently.
+                payload["new_snapshot_id"] = self.pool.register(
+                    final_session.ranked, session=final_session
+                )
+            elif spec.execute:
+                # All probes failed: the outcome is content-equal to
+                # the input snapshot, so it registers to the same id.
+                payload["new_snapshot_id"] = snapshot_id
+        return ServiceResult(
+            kind="clean",
+            snapshot_id=snapshot_id,
+            payload=payload,
+            spec=spec.to_dict(),
+            timing_ms=(time.perf_counter() - start) * 1000.0,
+            counters=counters,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _query_payload(
+        self, session: QuerySession, spec: QuerySpec
+    ) -> Dict[str, Any]:
+        """Answer payload for one query spec (session already leased)."""
+        payload: Dict[str, Any] = {"k": spec.k}
+        if spec.semantics in ("ukranks", "all"):
+            ukranks = session.ukranks(spec.k)
+            payload["ukranks"] = {
+                "winners": [
+                    {"rank": w.rank, "tid": w.tid, "probability": w.probability}
+                    for w in ukranks.winners
+                ]
+            }
+        if spec.semantics in ("ptk", "all"):
+            ptk = session.ptk(spec.k, spec.threshold)
+            payload["ptk"] = {
+                "threshold": spec.threshold,
+                "members": [[tid, p] for tid, p in ptk.members],
+            }
+        if spec.semantics in ("global-topk", "all"):
+            global_topk = session.global_topk(spec.k)
+            payload["global_topk"] = {
+                "members": [[tid, p] for tid, p in global_topk.members]
+            }
+        if spec.semantics == "all":
+            payload["quality"] = session.quality(spec.k).quality
+        return payload
+
+    def _quality_payload(
+        self, session: QuerySession, spec: QualitySpec
+    ) -> Dict[str, Any]:
+        """Quality payload; only ``"tp"`` rides the shared session."""
+        payload: Dict[str, Any] = {"k": spec.k, "method": spec.method}
+        if spec.method == "tp":
+            payload["quality"] = session.quality(spec.k).quality
+            return payload
+        kwargs: Dict[str, Any] = {}
+        if spec.method == "montecarlo":
+            kwargs["num_samples"] = spec.samples
+        result = compute_quality_detailed(
+            session.ranked, spec.k, method=spec.method, **kwargs
+        )
+        payload["quality"] = result.quality
+        num_results = getattr(result, "num_results", None)
+        if num_results is not None:
+            payload["num_results"] = num_results
+        return payload
+
+    def _cleaning_inputs(
+        self, ranked: RankedDatabase, spec: CleaningSpec
+    ) -> Tuple[Dict[str, int], Dict[str, float]]:
+        """Resolve the spec's costs / sc-probabilities against a snapshot.
+
+        Explicit mappings pass through unchanged -- coverage against
+        the snapshot's x-tuples is validated by
+        :func:`~repro.cleaning.model.build_cleaning_problem`, which
+        raises :class:`~repro.exceptions.UnknownXTupleError` naming the
+        offending identifier.  Omitted mappings are generated from the
+        spec's seeds (the paper's experimental setup).
+        """
+        db = ranked.db
+        costs = (
+            dict(spec.costs)
+            if spec.costs is not None
+            else generate_costs(db, seed=spec.cost_seed)
+        )
+        sc = (
+            dict(spec.sc_probabilities)
+            if spec.sc_probabilities is not None
+            else generate_sc_probabilities(db, seed=spec.sc_seed)
+        )
+        return costs, sc
+
+    def _execute_payload(
+        self,
+        db: ProbabilisticDatabase,
+        problem: CleaningProblem,
+        planner: Cleaner,
+        plan: Optional[CleaningPlan],
+        session: QuerySession,
+        spec: CleaningSpec,
+    ) -> Tuple[Dict[str, Any], QuerySession]:
+        """Simulate execution; the caller registers the outcome.
+
+        ``plan`` is ``None`` for adaptive requests (the loop plans each
+        round itself; the payload then reports the first round's probe
+        assignment as the plan).  Returns the execution payload fields
+        and the end-of-chain session (whose cumulative counters cover
+        the whole request).  Registration of the outcome snapshot is
+        deliberately left to :meth:`clean`, which must read the
+        session's counters *before* publishing it to the pool.
+        """
+        rng = random.Random(spec.seed)
+        if spec.adaptive:
+            result = clean_adaptively(
+                db, problem, planner, rng=rng, session=session
+            )
+            out_session = result.session
+            assert out_session is not None
+            records = [
+                r for round_ in result.rounds for r in round_.outcome.records
+            ]
+            cost_assigned = sum(
+                round_.outcome.cost_assigned for round_ in result.rounds
+            )
+            first = result.rounds[0].outcome if result.rounds else None
+            extra: Dict[str, Any] = {
+                "rounds": len(result.rounds),
+                "cost_spent": result.budget_spent,
+                "quality_after": result.final_quality,
+                "plan": {
+                    "operations": (
+                        {r.xid: r.assigned for r in sorted(first.records, key=lambda r: r.xid)}
+                        if first is not None
+                        else {}
+                    ),
+                    "total_operations": (
+                        sum(r.assigned for r in first.records) if first else 0
+                    ),
+                    "total_cost": first.cost_assigned if first else 0,
+                },
+            }
+        else:
+            assert plan is not None
+            outcome = execute_plan(db, problem, plan, rng=rng, session=session)
+            out_session = outcome.session
+            assert out_session is not None
+            records = list(outcome.records)
+            cost_assigned = outcome.cost_assigned
+            extra = {
+                "rounds": 1,
+                "cost_spent": outcome.cost_spent,
+                "quality_after": out_session.quality(spec.k).quality,
+            }
+        extra.update(
+            {
+                "cost_assigned": cost_assigned,
+                "probes": [
+                    {
+                        "xid": r.xid,
+                        "assigned": r.assigned,
+                        "performed": r.performed,
+                        "succeeded": r.succeeded,
+                        "revealed_tid": r.revealed_tid,
+                        "revealed_null": r.revealed_null,
+                    }
+                    for r in records
+                ],
+                "num_succeeded": sum(1 for r in records if r.succeeded),
+            }
+        )
+        return extra, out_session

@@ -20,6 +20,18 @@ Emits a JSON document with the timings future PRs compare against:
   delta-derived quality against the cold quality at every round and
   **fails the run** beyond :data:`DERIVE_CHECK_TOLERANCE`, which is
   what lets the CI smoke mode catch kernel regressions.
+* ``service_batch``: :meth:`repro.api.service.TopKService.batch` (one
+  shared max-k PSR pass for ``m`` mixed-``k`` requests) versus the
+  same ``m`` requests answered by independent cold
+  :class:`~repro.queries.engine.QuerySession` evaluations.  Every
+  batch answer is cross-checked against its independent twin and the
+  run **fails** on any disagreement -- the per-push CI gate for the
+  prefix-restriction sharing path.
+* ``pool_contention``: warm-path request throughput through a shared
+  :class:`~repro.api.pool.SessionPool`, single-threaded versus a
+  thread group hammering the same snapshots -- measures the lease /
+  LRU bookkeeping overhead under contention (correctness under
+  concurrency is covered by ``tests/test_service_pool.py``).
 
 The pure-Python backend is skipped above ``PYTHON_BACKEND_MAX_TUPLES``
 tuples when ``--quick`` is requested; the full snapshot runs it
@@ -34,10 +46,14 @@ import platform
 import random
 import statistics
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import Dict, List
 
+from repro.api.pool import SessionPool
+from repro.api.service import TopKService
+from repro.api.specs import BatchSpec, QuerySpec
 from repro.bench.harness import time_call
 from repro.cleaning.adaptive import clean_adaptively
 from repro.cleaning.greedy import GreedyCleaner
@@ -91,6 +107,14 @@ PROBE_SEED = 17
 #: Delta-vs-cold quality disagreement that fails the snapshot (and the
 #: CI smoke run) outright.
 DERIVE_CHECK_TOLERANCE = 1e-9
+
+#: Batch section: requests per batch and the k values they cycle over.
+BATCH_M = 16
+BATCH_KS = (15, 25, 50, 100)
+
+#: Contention section: worker threads and warm requests per measurement.
+CONTENTION_THREADS = 4
+CONTENTION_OPS = 400
 
 
 def _snapshot_ranked(num_tuples: int):
@@ -338,6 +362,174 @@ def adaptive_cleaning_snapshot(
     return points
 
 
+def _batch_specs(
+    m: int, ks=BATCH_KS, num_tuples: "int | None" = None
+) -> List[QuerySpec]:
+    """``m`` mixed-``k`` query specs cycling over ``ks`` (capped at n)."""
+    specs = []
+    for i in range(m):
+        k = ks[i % len(ks)]
+        if num_tuples is not None:
+            k = min(k, num_tuples)
+        specs.append(QuerySpec(k=k, threshold=0.1))
+    return specs
+
+
+def service_batch_snapshot(
+    size: int = 10_000, m: int = BATCH_M, repeats: int = 3
+) -> Dict:
+    """Batch (one shared max-k pass) vs m independent session evaluations.
+
+    Cross-checks every batch answer against its independently evaluated
+    twin (tuple ids exactly, qualities within
+    :data:`DERIVE_CHECK_TOLERANCE`) and raises on disagreement, so the
+    CI smoke run gates the prefix-restriction sharing path.
+    """
+    ranked = _snapshot_ranked(size)
+    specs = _batch_specs(m, num_tuples=ranked.num_tuples)
+    batch = BatchSpec(items=tuple(specs))
+
+    def run_batch():
+        service = TopKService()
+        sid = service.pool.register(ranked)
+        return service.batch(sid, batch)
+
+    def run_independent():
+        return [QuerySession(ranked).evaluate(s.k, s.threshold) for s in specs]
+
+    batch_ms = time_call(run_batch, repeats=repeats, time_budget_s=30.0)
+    independent_ms = time_call(
+        run_independent, repeats=repeats, time_budget_s=60.0
+    )
+
+    def check_members(got, expected, label, k):
+        """Positional tid equality, except swapped equal-probability ties.
+
+        The shared pass re-sums ``ρ`` rows in a different order than
+        the kernels' own accumulation, so tuples whose top-k
+        probabilities are equal to the last ulp may legitimately swap
+        positions; anything beyond a 1e-12 probability gap is a real
+        divergence and fails the run.
+        """
+        if len(got) != len(expected):
+            raise RuntimeError(
+                f"batch {label} answer has {len(got)} members vs "
+                f"{len(expected)} independent at k={k}"
+            )
+        for (got_tid, got_p), (exp_tid, exp_p) in zip(got, expected):
+            if abs(got_p - exp_p) > DERIVE_CHECK_TOLERANCE:
+                raise RuntimeError(
+                    f"batch {label} probability diverged at k={k}: "
+                    f"{got_tid}={got_p!r} vs {exp_tid}={exp_p!r}"
+                )
+            if got_tid != exp_tid and abs(got_p - exp_p) > 1e-12:
+                raise RuntimeError(
+                    f"batch {label} selection diverged at k={k}: "
+                    f"{got_tid} vs {exp_tid}"
+                )
+
+    result = run_batch()
+    reports = run_independent()
+    max_err = 0.0
+    for item, report in zip(result.payload["items"], reports):
+        check_members(
+            item["payload"]["ptk"]["members"],
+            list(report.ptk.members),
+            "PT-k",
+            report.k,
+        )
+        check_members(
+            item["payload"]["global_topk"]["members"],
+            list(report.global_topk.members),
+            "Global-topk",
+            report.k,
+        )
+        err = abs(item["payload"]["quality"] - report.quality_score)
+        max_err = max(max_err, err)
+        if err > DERIVE_CHECK_TOLERANCE:
+            raise RuntimeError(
+                f"batch quality diverged from the independent evaluation "
+                f"by {err:.3e} (> {DERIVE_CHECK_TOLERANCE:.0e}) at "
+                f"k={report.k} -- prefix-restriction regression"
+            )
+    return {
+        "n": ranked.num_tuples,
+        "m": m,
+        "ks": sorted({s.k for s in specs}),
+        "batch_ms": batch_ms,
+        "independent_ms": independent_ms,
+        "batch_throughput_x": (
+            independent_ms / batch_ms if batch_ms > 0 else None
+        ),
+        "psr_passes_batch": result.counters["psr_misses"],
+        "psr_prefills_batch": result.counters["psr_prefills"],
+        "max_abs_quality_error": max_err,
+    }
+
+
+def pool_contention_snapshot(
+    size: int = 10_000,
+    threads: int = CONTENTION_THREADS,
+    ops: int = CONTENTION_OPS,
+    k: int = 100,
+) -> Dict:
+    """Warm-path lease throughput, single-threaded vs a thread group.
+
+    All sessions are pre-warmed, so the measured work is answer
+    extraction plus the pool's lease/LRU bookkeeping -- the overhead a
+    concurrent server pays per request on the hot path.
+    """
+    ranked = _snapshot_ranked(size)
+    k = min(k, ranked.num_tuples)
+    pool = SessionPool(max_sessions=4)
+    sid = pool.register(ranked)
+    with pool.lease(sid) as session:
+        session.evaluate(k)  # warm
+
+    def one_op():
+        with pool.lease(sid) as session:
+            session.evaluate(k)
+
+    start = time.perf_counter()
+    for _ in range(ops):
+        one_op()
+    serial_s = time.perf_counter() - start
+
+    def worker(count: int):
+        for _ in range(count):
+            one_op()
+
+    per_thread = ops // threads
+    group = [
+        threading.Thread(target=worker, args=(per_thread,))
+        for _ in range(threads)
+    ]
+    start = time.perf_counter()
+    for t in group:
+        t.start()
+    for t in group:
+        t.join()
+    threaded_s = time.perf_counter() - start
+    threaded_ops = per_thread * threads
+    return {
+        "n": ranked.num_tuples,
+        "k": k,
+        "threads": threads,
+        "ops": ops,
+        "serial_ops_per_s": ops / serial_s if serial_s > 0 else None,
+        "threaded_ops_per_s": (
+            threaded_ops / threaded_s if threaded_s > 0 else None
+        ),
+        "contention_overhead_x": (
+            (threaded_s / threaded_ops) / (serial_s / ops)
+            if serial_s > 0 and threaded_ops > 0
+            else None
+        ),
+        "session_hits": pool.session_hits,
+        "session_misses": pool.session_misses,
+    }
+
+
 def perf_snapshot(quick: bool = False, smoke: bool = False) -> Dict:
     """The full snapshot document."""
     if smoke:
@@ -346,12 +538,16 @@ def perf_snapshot(quick: bool = False, smoke: bool = False) -> Dict:
         adaptive = adaptive_cleaning_snapshot(
             sizes=(500,), k=50, budget=20
         )
+        batch = service_batch_snapshot(size=500, m=8)
+        contention = pool_contention_snapshot(size=500, ops=100, k=50)
     else:
         psr = psr_snapshot(quick=quick)
         session = query_session_snapshot()
         adaptive = adaptive_cleaning_snapshot()
+        batch = service_batch_snapshot()
+        contention = pool_contention_snapshot()
     return {
-        "schema": "repro-perf-snapshot/2",
+        "schema": "repro-perf-snapshot/3",
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "workload": {
@@ -363,6 +559,8 @@ def perf_snapshot(quick: bool = False, smoke: bool = False) -> Dict:
         "psr": psr,
         "query_session": session,
         "adaptive_cleaning": adaptive,
+        "service_batch": batch,
+        "pool_contention": contention,
     }
 
 
@@ -410,5 +608,29 @@ def format_snapshot(snapshot: Dict) -> str:
             f"{point['psr_full_passes_delta']} full PSR pass(es), "
             f"{point['psr_patches_delta']} patches, "
             f"max quality err {point['max_abs_quality_error']:.1e})"
+        )
+    batch = snapshot.get("service_batch")
+    if batch:
+        lines.append("# Service batch (shared max-k pass vs independent sessions)")
+        lines.append(
+            f"n={batch['n']}  m={batch['m']}  ks={batch['ks']}: "
+            f"batch {batch['batch_ms']:.1f} ms vs independent "
+            f"{batch['independent_ms']:.1f} ms "
+            f"({fmt(batch['batch_throughput_x'], '.1f')}x; "
+            f"{batch['psr_passes_batch']} PSR pass(es), "
+            f"{batch['psr_prefills_batch']} prefills, "
+            f"max quality err {batch['max_abs_quality_error']:.1e})"
+        )
+    contention = snapshot.get("pool_contention")
+    if contention:
+        lines.append("# SessionPool contention (warm lease throughput)")
+        lines.append(
+            f"n={contention['n']}  k={contention['k']}  "
+            f"threads={contention['threads']}: "
+            f"serial {fmt(contention['serial_ops_per_s'], '.0f')} ops/s vs "
+            f"{contention['threads']}-thread "
+            f"{fmt(contention['threaded_ops_per_s'], '.0f')} ops/s "
+            f"(per-op overhead "
+            f"{fmt(contention['contention_overhead_x'], '.2f')}x)"
         )
     return "\n".join(lines)

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.core.tp import TPQualityResult
 from repro.db.database import RankedDatabase
-from repro.exceptions import InvalidCleaningProblemError
+from repro.exceptions import InvalidCleaningProblemError, UnknownXTupleError
 
 #: |g(l, D)| below this is treated as zero: cleaning the x-tuple cannot
 #: improve the quality (Lemma 5) and it is excluded from the candidate
@@ -246,14 +246,12 @@ def build_cleaning_problem(
         if isinstance(source, Mapping):
             missing = [xid for xid in ranked.xtuple_ids if xid not in source]
             if missing:
-                raise InvalidCleaningProblemError(
-                    f"{label} mapping is missing x-tuples {missing[:5]!r}"
-                )
+                raise UnknownXTupleError(label, missing[0])
             if len(source) != m:
                 known = set(ranked.xtuple_ids)
                 unknown = [xid for xid in source if xid not in known]
-                raise InvalidCleaningProblemError(
-                    f"{label} mapping names unknown x-tuples {unknown[:5]!r}"
+                raise UnknownXTupleError(
+                    label, unknown[0], reason="names unknown"
                 )
             return tuple(source[xid] for xid in ranked.xtuple_ids)
         values = tuple(source)

@@ -1,5 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every data-path command is a thin wrapper over the
+:class:`~repro.api.service.TopKService` façade: flags are parsed into
+the declarative request specs of :mod:`repro.api.specs`, the service
+answers with a :class:`~repro.api.results.ServiceResult`, and the
+human-readable summary is printed from the result payload.  With
+``--json PATH`` the full wire envelope (spec + result + enough context
+to chain commands) is written too, so CLI invocations compose:
+``repro query --json q.json`` followed by ``repro clean --from q.json``
+re-targets the same database, ranking and ``k``.
+
 Commands:
 
 ``generate``
@@ -25,34 +35,17 @@ from __future__ import annotations
 
 import argparse
 import json
-import random
 import sys
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
-from repro.cleaning.dp import DPCleaner
-from repro.cleaning.executor import execute_plan
-from repro.cleaning.greedy import GreedyCleaner
-from repro.cleaning.improvement import expected_improvement
-from repro.cleaning.model import build_cleaning_problem
-from repro.cleaning.random_cleaners import RandPCleaner, RandUCleaner
-from repro.core.quality import METHODS, compute_quality_detailed
-from repro.core.tp import compute_quality_tp
+from repro.api.results import ServiceResult
+from repro.api.service import TopKService
+from repro.api.specs import PLANNERS, CleaningSpec, QualitySpec, QuerySpec
+from repro.core.quality import METHODS
 from repro.datasets.mov import generate_mov
-from repro.datasets.synthetic import (
-    generate_costs,
-    generate_sc_probabilities,
-    generate_synthetic,
-)
+from repro.datasets.synthetic import generate_synthetic
 from repro.db import io
 from repro.db.ranking import by_sum_of_keys, by_value
-from repro.queries.engine import evaluate
-
-PLANNERS = {
-    "dp": DPCleaner,
-    "greedy": GreedyCleaner,
-    "randp": RandPCleaner,
-    "randu": RandUCleaner,
-}
 
 
 def _ranking_for(name: str):
@@ -63,11 +56,39 @@ def _ranking_for(name: str):
     raise SystemExit(f"unknown ranking {name!r}; pick 'value' or 'mov'")
 
 
-def _load_mapping(path: Optional[str]) -> Optional[Dict[str, float]]:
+def _load_mapping(path: Optional[str]) -> Optional[Dict[str, Any]]:
     if path is None:
         return None
     with open(path, "r", encoding="utf-8") as f:
         return json.load(f)
+
+
+def _service_for(db_path: str, ranking_name: str):
+    """A one-shot service with the database file registered."""
+    service = TopKService(ranking=_ranking_for(ranking_name))
+    snapshot_id = service.register(io.load_json(db_path)).snapshot_id
+    return service, snapshot_id
+
+
+def _write_envelope(
+    path: Optional[str],
+    command: str,
+    result: ServiceResult,
+    db_path: str,
+    ranking: str,
+) -> None:
+    """Write the JSON-out envelope chaining commands together."""
+    if path is None:
+        return
+    envelope = {
+        "command": command,
+        "db": str(db_path),
+        "ranking": ranking,
+        "result": result.to_dict(),
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(envelope, f, indent=2)
+        f.write("\n")
 
 
 # ----------------------------------------------------------------------
@@ -82,85 +103,129 @@ def cmd_generate(args: argparse.Namespace) -> int:
             uncertainty=args.uncertainty,
             seed=args.seed,
         )
+        ranking_name = "value"
     else:
         db = generate_mov(num_xtuples=args.xtuples, seed=args.seed)
+        ranking_name = "mov"
     io.save_json(db, args.output)
     print(
         f"wrote {db.num_xtuples} x-tuples / {db.num_tuples} tuples "
         f"({db.name}) to {args.output}"
     )
+    if args.json is not None:
+        # Register under the ranking matching the workload (mov values
+        # are mappings; by-value would not even rank them) and record
+        # it in the envelope so chained commands inherit it.
+        service = TopKService(ranking=_ranking_for(ranking_name))
+        result = service.register(db)
+        _write_envelope(
+            args.json, "generate", result, args.output, ranking_name
+        )
     return 0
 
 
 def cmd_quality(args: argparse.Namespace) -> int:
     """``repro quality``: score a top-k query's ambiguity."""
-    db = io.load_json(args.db)
-    ranked = db.ranked(_ranking_for(args.ranking))
-    kwargs = {}
-    if args.method == "montecarlo":
-        kwargs["num_samples"] = args.samples
-    result = compute_quality_detailed(ranked, args.k, method=args.method, **kwargs)
-    print(f"PWS-quality (k={args.k}, {args.method}): {result.quality:.6f}")
-    num_results = getattr(result, "num_results", None)
-    if num_results is not None:
-        print(f"distinct pw-results: {num_results}")
+    service, snapshot_id = _service_for(args.db, args.ranking)
+    spec = QualitySpec(k=args.k, method=args.method, samples=args.samples)
+    result = service.quality(snapshot_id, spec)
+    payload = result.payload
+    print(f"PWS-quality (k={args.k}, {args.method}): {payload['quality']:.6f}")
+    if "num_results" in payload:
+        print(f"distinct pw-results: {payload['num_results']}")
+    _write_envelope(args.json, "quality", result, args.db, args.ranking)
     return 0
 
 
 def cmd_query(args: argparse.Namespace) -> int:
     """``repro query``: answer the probabilistic top-k semantics."""
-    db = io.load_json(args.db)
-    ranked = db.ranked(_ranking_for(args.ranking))
-    report = evaluate(ranked, args.k, threshold=args.threshold)
+    service, snapshot_id = _service_for(args.db, args.ranking)
+    spec = QuerySpec(
+        k=args.k, semantics=args.semantics, threshold=args.threshold
+    )
+    result = service.query(snapshot_id, spec)
+    payload = result.payload
     if args.semantics in ("ptk", "all"):
-        print(f"PT-{args.k} (T={args.threshold}): {report.ptk.tids}")
+        tids = [tid for tid, _ in payload["ptk"]["members"]]
+        print(f"PT-{args.k} (T={args.threshold}): {tids}")
     if args.semantics in ("ukranks", "all"):
-        winners = [(w.rank, w.tid, round(w.probability, 4)) for w in report.ukranks.winners]
+        winners = [
+            (w["rank"], w["tid"], round(w["probability"], 4))
+            for w in payload["ukranks"]["winners"]
+        ]
         print(f"U-kRanks: {winners}")
     if args.semantics in ("global-topk", "all"):
-        print(f"Global-top{args.k}: {report.global_topk.tids}")
-    print(f"PWS-quality: {report.quality_score:.6f}")
+        tids = [tid for tid, _ in payload["global_topk"]["members"]]
+        print(f"Global-top{args.k}: {tids}")
+    quality = payload.get("quality")
+    if quality is None:
+        # Costs nothing extra: the semantics above warmed the session's
+        # PSR cache at this k.
+        quality = service.quality(snapshot_id, QualitySpec(k=args.k)).payload[
+            "quality"
+        ]
+    print(f"PWS-quality: {quality:.6f}")
+    _write_envelope(args.json, "query", result, args.db, args.ranking)
     return 0
 
 
 def cmd_clean(args: argparse.Namespace) -> int:
     """``repro clean``: plan (and optionally simulate) cleaning."""
-    db = io.load_json(args.db)
-    ranked = db.ranked(_ranking_for(args.ranking))
-    quality = compute_quality_tp(ranked, args.k)
-    costs = _load_mapping(args.costs) or generate_costs(db, seed=args.costs_seed)
-    sc = _load_mapping(args.sc) or generate_sc_probabilities(db, seed=args.sc_seed)
-    problem = build_cleaning_problem(quality, costs, sc, args.budget)
-
-    planner = PLANNERS[args.planner]()
-    plan = planner.plan(problem)
-    improvement = expected_improvement(problem, plan)
-    print(f"quality before cleaning: {quality.quality:.6f}")
-    print(
-        f"{planner.name} plan: {plan.total_operations} operations on "
-        f"{len(plan)} x-tuples, cost {plan.total_cost(problem)}/{args.budget}"
+    db_path, ranking_name, k = args.db, args.ranking, args.k
+    if args.from_json is not None:
+        with open(args.from_json, "r", encoding="utf-8") as f:
+            envelope = json.load(f)
+        db_path = db_path or envelope.get("db")
+        if ranking_name is None:
+            ranking_name = envelope.get("ranking")
+        upstream_spec = envelope.get("result", {}).get("spec") or {}
+        if k is None:
+            k = upstream_spec.get("k")
+    if db_path is None:
+        raise SystemExit("clean needs --db (or --from with a db path)")
+    if ranking_name is None:
+        ranking_name = "value"
+    if k is None:
+        k = 15
+    service, snapshot_id = _service_for(db_path, ranking_name)
+    execute = bool(args.execute or args.output)
+    spec = CleaningSpec(
+        k=k,
+        budget=args.budget,
+        planner=args.planner,
+        costs=_load_mapping(args.costs),
+        sc_probabilities=_load_mapping(args.sc),
+        cost_seed=args.costs_seed,
+        sc_seed=args.sc_seed,
+        execute=execute,
+        seed=args.execute_seed,
     )
-    print(f"expected improvement: {improvement:.6f}")
+    result = service.clean(snapshot_id, spec)
+    payload = result.payload
+    plan = payload["plan"]
+    print(f"quality before cleaning: {payload['quality_before']:.6f}")
+    print(
+        f"{payload['planner']} plan: {plan['total_operations']} operations on "
+        f"{len(plan['operations'])} x-tuples, cost "
+        f"{plan['total_cost']}/{args.budget}"
+    )
+    print(f"expected improvement: {payload['expected_improvement']:.6f}")
     if args.verbose:
-        for xid in sorted(plan.operations):
-            print(f"  pclean({xid}) x{plan.operations[xid]}")
+        for xid in sorted(plan["operations"]):
+            print(f"  pclean({xid}) x{plan['operations'][xid]}")
 
-    if args.execute or args.output:
-        outcome = execute_plan(
-            db, problem, plan, rng=random.Random(args.execute_seed)
-        )
-        after = compute_quality_tp(
-            outcome.cleaned_db.ranked(_ranking_for(args.ranking)), args.k
-        )
+    if execute:
         print(
-            f"simulated execution: {outcome.num_succeeded}/"
-            f"{len(outcome.records)} x-tuples cleaned, spent "
-            f"{outcome.cost_spent} of {outcome.cost_assigned} assigned"
+            f"simulated execution: {payload['num_succeeded']}/"
+            f"{len(payload['probes'])} x-tuples cleaned, spent "
+            f"{payload['cost_spent']} of {payload['cost_assigned']} assigned"
         )
-        print(f"quality after cleaning: {after.quality:.6f}")
+        print(f"quality after cleaning: {payload['quality_after']:.6f}")
         if args.output:
-            io.save_json(outcome.cleaned_db, args.output)
+            cleaned = service.database(payload["new_snapshot_id"])
+            io.save_json(cleaned, args.output)
             print(f"wrote cleaned database to {args.output}")
+    _write_envelope(args.json, "clean", result, db_path, ranking_name)
     return 0
 
 
@@ -184,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--uncertainty", choices=("gaussian", "uniform"), default="gaussian"
     )
     g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--json", help="write the wire envelope here")
     g.set_defaults(fn=cmd_generate)
 
     q = sub.add_parser("quality", help="compute the PWS-quality")
@@ -192,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--method", choices=METHODS, default="tp")
     q.add_argument("--samples", type=int, default=10_000)
     q.add_argument("--ranking", choices=("value", "mov"), default="value")
+    q.add_argument("--json", help="write the wire envelope here")
     q.set_defaults(fn=cmd_quality)
 
     r = sub.add_parser("query", help="answer a probabilistic top-k query")
@@ -204,11 +271,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     r.add_argument("--threshold", type=float, default=0.1)
     r.add_argument("--ranking", choices=("value", "mov"), default="value")
+    r.add_argument("--json", help="write the wire envelope here")
     r.set_defaults(fn=cmd_query)
 
     c = sub.add_parser("clean", help="plan (and simulate) budgeted cleaning")
-    c.add_argument("--db", required=True)
-    c.add_argument("-k", type=int, default=15)
+    c.add_argument("--db", help="database file (or supply --from)")
+    c.add_argument("-k", type=int, default=None)
     c.add_argument("--budget", type=int, required=True)
     c.add_argument("--planner", choices=sorted(PLANNERS), default="greedy")
     c.add_argument("--costs", help="JSON mapping {xid: cost}")
@@ -218,7 +286,19 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--execute", action="store_true", help="simulate the probes")
     c.add_argument("--execute-seed", type=int, default=0)
     c.add_argument("--output", "-o", help="write the cleaned database here")
-    c.add_argument("--ranking", choices=("value", "mov"), default="value")
+    c.add_argument(
+        "--ranking",
+        choices=("value", "mov"),
+        default=None,
+        help="defaults to the --from envelope's ranking, else 'value'",
+    )
+    c.add_argument(
+        "--from",
+        dest="from_json",
+        help="JSON envelope from a previous query/quality run; supplies "
+        "db, ranking and k unless overridden",
+    )
+    c.add_argument("--json", help="write the wire envelope here")
     c.add_argument("--verbose", "-v", action="store_true")
     c.set_defaults(fn=cmd_clean)
 

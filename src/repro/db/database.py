@@ -211,6 +211,39 @@ class ProbabilisticDatabase:
     # ------------------------------------------------------------------
     # Derivation
     # ------------------------------------------------------------------
+    def content_hash(self) -> str:
+        """Deterministic SHA-256 of the database's logical content.
+
+        Two databases with the same x-tuples (ids, alternatives, values,
+        probabilities, order) hash identically regardless of how they
+        were constructed -- cold load, :meth:`with_xtuple_replaced`
+        derivation, or deserialization.  The name is deliberately
+        excluded: snapshot identity is content identity.  The service
+        layer (:mod:`repro.api`) uses this as the snapshot id under
+        which immutable databases are registered, so repeated
+        registration of equal content is idempotent.  Computed once and
+        cached (the database is immutable by convention).
+        """
+        cached = getattr(self, "_content_hash", None)
+        if cached is not None:
+            return cached
+        import hashlib
+        import json
+
+        hasher = hashlib.sha256()
+        for xt in self._xtuples:
+            record = [
+                xt.xid,
+                [[t.tid, t.value, t.probability] for t in xt.alternatives],
+            ]
+            hasher.update(
+                json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+            )
+            hasher.update(b"\x00")
+        digest = hasher.hexdigest()
+        self._content_hash = digest
+        return digest
+
     def with_xtuple_replaced(self, xid: str, replacement: XTuple) -> "ProbabilisticDatabase":
         """Return a copy of the database with one x-tuple swapped out.
 

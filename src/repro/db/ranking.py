@@ -85,3 +85,29 @@ def by_sum_of_keys(*keys: str) -> RankingFunction:
 def custom(score: ScoreFunction, name: str = "custom") -> RankingFunction:
     """Wrap an arbitrary score callable into a :class:`RankingFunction`."""
     return RankingFunction(score, name=name)
+
+
+#: Names that carry no identity (the constructor defaults) -- two
+#: rankings sharing one of these must not be treated as equivalent.
+_ANONYMOUS_NAMES = frozenset({"", "score", "custom", "<lambda>"})
+
+
+def rankings_equivalent(a: Optional[RankingFunction], b: Optional[RankingFunction]) -> bool:
+    """Whether two ranking functions demonstrably order tuples the same.
+
+    ``None`` stands for the by-value default.  Equivalence is
+    establishable two ways: the rankings share the same underlying
+    score callable, or they carry the same *descriptive* name (the
+    factory-assigned ones -- ``by_value``, ``by_key(date)``, ... --
+    which encode the scoring rule; anonymous defaults like
+    ``"custom"`` or ``"<lambda>"`` never match).  Used by the snapshot
+    registry to reject re-registration of one database under a
+    conflicting ranking, so the check errs toward *false*: two
+    semantically equal but unrelated callables are reported as
+    different.
+    """
+    a = a if a is not None else by_value()
+    b = b if b is not None else by_value()
+    if a is b or a._score is b._score:
+        return True
+    return a.name == b.name and a.name not in _ANONYMOUS_NAMES

@@ -35,3 +35,31 @@ class InfeasibleTargetError(ReproError):
     requested expected-quality target exceeds what cleaning every
     x-tuple infinitely often could deliver.
     """
+
+
+class InvalidSpecError(ReproError):
+    """A declarative request spec (:mod:`repro.api.specs`) is malformed.
+
+    Raised eagerly at spec construction / deserialization time -- a
+    spec that constructs cleanly is guaranteed to be wire-ready
+    (``to_dict``/``from_dict`` round-trips through JSON).
+    """
+
+
+class UnknownXTupleError(InvalidCleaningProblemError):
+    """A cleaning spec names (or omits) an x-tuple the snapshot lacks.
+
+    Carries the offending identifier and the field it appeared in, so
+    service callers get ``"costs is missing x-tuple 'S3'"`` instead of
+    a bare :class:`KeyError` bubbling out of a mapping lookup.
+    """
+
+    def __init__(self, field: str, xid: str, reason: str = "is missing") -> None:
+        self.field = field
+        self.xid = xid
+        super().__init__(f"{field} {reason} x-tuple {xid!r}")
+
+
+class UnknownSnapshotError(ReproError):
+    """A snapshot id was not registered with the
+    :class:`~repro.api.pool.SessionPool` being addressed."""

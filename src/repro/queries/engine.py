@@ -44,7 +44,7 @@ across threads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.backend import resolve_backend
 from repro.core.tp import (
@@ -140,6 +140,9 @@ class QuerySession:
         #: ``derive`` calls that started a cold session / patched one.
         self.cold_derives = 0
         self.delta_derives = 0
+        #: Smaller-``k`` cache entries seeded from a larger pass by
+        #: :meth:`prefill` (the batch-sharing primitive).
+        self.psr_prefills = 0
 
     @property
     def db(self) -> ProbabilisticDatabase:
@@ -151,6 +154,7 @@ class QuerySession:
         self.psr_patches = parent.psr_patches
         self.cold_derives = parent.cold_derives
         self.delta_derives = parent.delta_derives
+        self.psr_prefills = parent.psr_prefills
 
     def derive(
         self,
@@ -212,6 +216,33 @@ class QuerySession:
         # quality case) rebuilds lazily from the patched PSR output on
         # first use.
         return derived
+
+    def prefill(self, ks: Iterable[int]) -> int:
+        """Serve several ``k`` values from **one** PSR pass at ``max(ks)``.
+
+        Runs (or reuses) the pass at the largest requested ``k`` and
+        seeds the cache for every smaller ``k`` with a column-restricted
+        view of it (:meth:`RankProbabilities.restricted_to` -- rank
+        probabilities do not depend on ``k``, so the prefix is exact).
+        Afterwards ``rank_probabilities(k)`` is a cache hit for every
+        requested ``k``; this is the sharing primitive behind
+        :meth:`repro.api.service.TopKService.batch`.
+
+        Returns the number of cache entries seeded (``psr_prefills``
+        accumulates the same count across the session's lifetime).
+        """
+        distinct = sorted({int(k) for k in ks})
+        if not distinct:
+            return 0
+        k_max = distinct[-1]
+        rank_probs = self.rank_probabilities(k_max)
+        seeded = 0
+        for k in distinct[:-1]:
+            if k not in self._rank_probabilities:
+                self._rank_probabilities[k] = rank_probs.restricted_to(k)
+                seeded += 1
+        self.psr_prefills += seeded
+        return seeded
 
     # ------------------------------------------------------------------
     # Cached primitives

@@ -291,6 +291,43 @@ class RankProbabilities:
             and np.array_equal(self.topk_prefix, other.topk_prefix)
         )
 
+    def restricted_to(self, k: int) -> "RankProbabilities":
+        """This PSR result viewed at a smaller ``k`` -- no new pass.
+
+        ``ρ_i(h)`` does not depend on the query's ``k`` (it is the
+        probability that exactly ``h - 1`` higher-ranked real tuples
+        precede ``t_i``); ``k`` only decides how many columns the scan
+        emits and where Lemma 2 truncates it.  A pass at ``k_max``
+        therefore contains every smaller-``k`` result as a column
+        prefix: slice the first ``k`` columns of ``rho_prefix`` and
+        re-sum the top-k vector.  This is what lets a batch of queries
+        at mixed ``k`` share **one** PSR pass at the maximum ``k``
+        (:meth:`repro.queries.engine.QuerySession.prefill`).
+
+        The restricted result keeps this result's ``cutoff``; rows a
+        direct ``k``-pass would have truncated earlier are all-zero in
+        the sliced columns, so every derived answer is identical.
+        Scan checkpoints are not carried over (they snapshot ``k_max``
+        column state), so delta-patching a restricted result falls back
+        to a window re-scan from the top.
+        """
+        if k == self.k:
+            return self
+        if not 1 <= k < self.k:
+            raise ValueError(
+                f"can only restrict to 1 <= k < {self.k}, got {k}"
+            )
+        rho = np.ascontiguousarray(self.rho_prefix[:, :k])
+        return RankProbabilities(
+            k=k,
+            ranked=self.ranked,
+            cutoff=self.cutoff,
+            rho_prefix=rho,
+            topk_prefix=rho.sum(axis=1),
+            backend=self.backend,
+            checkpoints=None,
+        )
+
     def rank_probability(self, tid: str, h: int) -> float:
         """``ρ_i(h)``: probability tuple ``tid`` takes rank ``h`` (1-based)."""
         if not 1 <= h <= self.k:

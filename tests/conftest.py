@@ -17,6 +17,54 @@ from strategies import (  # noqa: F401 - re-exported for back-compat
 )
 
 
+def assert_payloads_close(got, expected, tol=1e-9, tie_tol=1e-12):
+    """Recursive service-payload equality, tolerant to float rounding.
+
+    The batch/prefill path re-sums PSR rows in a different order than a
+    direct pass, so probabilities may differ in the last ulp and tuples
+    with *equal* probabilities may legitimately swap positions.  Floats
+    compare within ``tol``; a tuple-id mismatch is accepted only when
+    the paired probabilities agree within ``tie_tol`` (a swapped tie).
+    Everything else must be exactly equal.
+    """
+    if isinstance(expected, dict):
+        assert isinstance(got, dict) and set(got) == set(expected), (
+            got,
+            expected,
+        )
+        if set(expected) == {"rank", "tid", "probability"}:
+            assert got["rank"] == expected["rank"]
+            assert abs(got["probability"] - expected["probability"]) <= tol
+            if got["tid"] != expected["tid"]:
+                assert abs(got["probability"] - expected["probability"]) <= tie_tol
+            return
+        for key in expected:
+            if key in ("timing_ms", "counters"):
+                continue  # operational metadata; run-dependent by design
+            assert_payloads_close(got[key], expected[key], tol, tie_tol)
+    elif isinstance(expected, (list, tuple)):
+        assert len(got) == len(expected), (got, expected)
+        if all(
+            isinstance(item, (list, tuple))
+            and len(item) == 2
+            and isinstance(item[0], str)
+            and isinstance(item[1], (int, float))
+            for item in expected
+        ) and expected:
+            for (got_tid, got_p), (exp_tid, exp_p) in zip(got, expected):
+                assert abs(got_p - exp_p) <= tol, (got_tid, got_p, exp_tid, exp_p)
+                if got_tid != exp_tid:
+                    assert abs(got_p - exp_p) <= tie_tol, (got_tid, exp_tid)
+            return
+        for got_item, exp_item in zip(got, expected):
+            assert_payloads_close(got_item, exp_item, tol, tie_tol)
+    elif isinstance(expected, float):
+        assert isinstance(got, (int, float))
+        assert got == pytest.approx(expected, abs=tol), (got, expected)
+    else:
+        assert got == expected, (got, expected)
+
+
 @pytest.fixture
 def udb1():
     from repro.datasets.paper import udb1 as factory

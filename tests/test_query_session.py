@@ -79,6 +79,62 @@ class TestCaching:
         )
 
 
+class TestPrefill:
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_restricted_to_matches_direct_pass(self, backend, small_synthetic):
+        import numpy as np
+
+        from repro.queries.psr import compute_rank_probabilities
+
+        ranked = small_synthetic.ranked()
+        full = compute_rank_probabilities(ranked, 20, backend=backend)
+        for k in (1, 5, 19):
+            direct = compute_rank_probabilities(ranked, k, backend=backend)
+            restricted = full.restricted_to(k)
+            rows = min(direct.cutoff, restricted.cutoff)
+            # Rank probabilities are k-independent: the column prefix
+            # is bitwise identical.
+            assert np.array_equal(
+                direct.rho_prefix[:rows], restricted.rho_prefix[:rows]
+            )
+            # The re-summed top-k vector may differ in the last ulp.
+            assert np.allclose(
+                direct.topk_array(), restricted.topk_array(), atol=1e-12
+            )
+
+    def test_restricted_to_bounds(self, udb1):
+        session = QuerySession(udb1)
+        rank_probs = session.rank_probabilities(3)
+        assert rank_probs.restricted_to(3) is rank_probs
+        with pytest.raises(ValueError):
+            rank_probs.restricted_to(4)
+        with pytest.raises(ValueError):
+            rank_probs.restricted_to(0)
+
+    def test_prefill_serves_every_k_from_one_pass(self, small_synthetic):
+        session = QuerySession(small_synthetic)
+        seeded = session.prefill([5, 12, 3, 12])
+        assert seeded == 2
+        assert session.psr_misses == 1
+        assert session.psr_prefills == 2
+        for k in (3, 5, 12):
+            session.evaluate(k)
+        assert session.psr_misses == 1
+
+    def test_prefill_respects_existing_cache(self, small_synthetic):
+        session = QuerySession(small_synthetic)
+        direct = session.rank_probabilities(4)
+        session.prefill([4, 9])
+        # k=4 was already cached directly; prefill must not replace it.
+        assert session.rank_probabilities(4) is direct
+        assert session.psr_prefills == 0
+
+    def test_prefill_empty(self, udb1):
+        session = QuerySession(udb1)
+        assert session.prefill([]) == 0
+        assert session.psr_misses == 0
+
+
 class TestDerive:
     def test_derive_same_db_returns_same_session(self, udb1):
         session = QuerySession(udb1)
