@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Compare successive ``BENCH_pr*.json`` perf snapshots and gate CI.
+
+Usage::
+
+    python benchmarks/compare.py                  # latest vs previous
+    python benchmarks/compare.py OLD.json NEW.json
+    python benchmarks/compare.py --strict         # fail across hosts too
+    python benchmarks/compare.py --threshold 0.3  # custom gate
+
+Walks both snapshot documents and pairs every ``*_ms`` measurement
+that exists in both, addressing grid points by their identifying
+fields (``n``, ``k``, ``workers``, ...) rather than list position, so
+re-ordered or extended sweeps still line up.  A measurement that got
+more than ``--threshold`` (default 20%) slower fails the run with
+exit status 1.
+
+Two escape hatches keep the gate honest instead of flaky:
+
+* Pairs where both sides are below ``--noise-floor-ms`` (default
+  5 ms) are reported but never fail -- timer jitter dominates there.
+* When the snapshots were taken on different hosts (``platform`` or
+  ``python`` differ), regressions are downgraded to warnings unless
+  ``--strict`` is passed: cross-host wall-clock deltas measure the
+  hardware, not the code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Fields that identify a grid point inside a snapshot list (in
+#: priority order); used to address measurements stably across PRs.
+IDENTITY_FIELDS = (
+    "n",
+    "k",
+    "m",
+    "workers",
+    "budget",
+    "threads",
+    "block_rows",
+    "backend",
+)
+
+#: Keys whose numeric values are tracked measurements.
+MEASUREMENT_SUFFIX = "_ms"
+
+DEFAULT_THRESHOLD = 0.20
+DEFAULT_NOISE_FLOOR_MS = 5.0
+
+BENCH_PATTERN = re.compile(r"BENCH_pr(\d+)\.json$")
+
+
+def _identity(item: Dict) -> str:
+    parts = [
+        f"{field}={item[field]}"
+        for field in IDENTITY_FIELDS
+        if isinstance(item.get(field), (int, float, str))
+    ]
+    return "[" + ",".join(parts) + "]" if parts else ""
+
+
+def walk_measurements(node, path: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield ``(address, value)`` for every ``*_ms`` number in a doc."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            child = f"{path}.{key}" if path else key
+            if (
+                key.endswith(MEASUREMENT_SUFFIX)
+                and isinstance(value, (int, float))
+                and not isinstance(value, bool)
+            ):
+                yield child, float(value)
+            else:
+                yield from walk_measurements(value, child)
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            if isinstance(item, dict):
+                suffix = _identity(item) or f"[{index}]"
+            else:
+                suffix = f"[{index}]"
+            yield from walk_measurements(item, path + suffix)
+
+
+def compare_snapshots(
+    old: Dict,
+    new: Dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_floor_ms: float = DEFAULT_NOISE_FLOOR_MS,
+) -> Tuple[List[str], List[str]]:
+    """``(regressions, report_lines)`` for every shared measurement.
+
+    A regression is a shared ``*_ms`` address whose new value exceeds
+    the old by more than ``threshold`` *and* where at least one side
+    is above the noise floor.
+    """
+    old_values = dict(walk_measurements(old))
+    new_values = dict(walk_measurements(new))
+    shared = sorted(set(old_values) & set(new_values))
+    regressions: List[str] = []
+    lines: List[str] = []
+    for address in shared:
+        before, after = old_values[address], new_values[address]
+        ratio = (after / before - 1.0) if before > 0 else 0.0
+        marker = " "
+        if ratio > threshold:
+            if before < noise_floor_ms and after < noise_floor_ms:
+                marker = "~"  # over threshold but within timer noise
+            else:
+                marker = "!"
+                regressions.append(
+                    f"{address}: {before:.1f} ms -> {after:.1f} ms "
+                    f"(+{ratio * 100.0:.0f}%)"
+                )
+        lines.append(
+            f"{marker} {address}: {before:.2f} -> {after:.2f} ms "
+            f"({ratio * 100.0:+.0f}%)"
+        )
+    if not shared:
+        lines.append("(no shared *_ms measurements between the snapshots)")
+    return regressions, lines
+
+
+def same_host(old: Dict, new: Dict) -> bool:
+    """Whether both snapshots were measured on comparable hosts."""
+    return old.get("platform") == new.get("platform") and old.get(
+        "python"
+    ) == new.get("python")
+
+
+def discover_pair(root: Path) -> Optional[Tuple[Path, Path]]:
+    """The two most recent ``BENCH_pr<N>.json`` files under ``root``."""
+    candidates = []
+    for path in root.glob("BENCH_pr*.json"):
+        match = BENCH_PATTERN.search(path.name)
+        if match:
+            candidates.append((int(match.group(1)), path))
+    candidates.sort()
+    if len(candidates) < 2:
+        return None
+    return candidates[-2][1], candidates[-1][1]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "snapshots",
+        nargs="*",
+        metavar="PATH",
+        help="OLD.json NEW.json (default: two latest BENCH_pr*.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fractional slowdown that fails the run (default 0.20)",
+    )
+    parser.add_argument(
+        "--noise-floor-ms",
+        type=float,
+        default=DEFAULT_NOISE_FLOOR_MS,
+        help="pairs entirely below this never fail (default 5 ms)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on regressions even across different hosts",
+    )
+    args = parser.parse_args(argv)
+
+    if len(args.snapshots) == 2:
+        old_path, new_path = Path(args.snapshots[0]), Path(args.snapshots[1])
+    elif not args.snapshots:
+        pair = discover_pair(Path(__file__).resolve().parent.parent)
+        if pair is None:
+            print("compare: fewer than two BENCH_pr*.json snapshots; nothing to do")
+            return 0
+        old_path, new_path = pair
+    else:
+        parser.error("pass zero or exactly two snapshot paths")
+
+    old = json.loads(old_path.read_text(encoding="utf-8"))
+    new = json.loads(new_path.read_text(encoding="utf-8"))
+    regressions, lines = compare_snapshots(
+        old, new, threshold=args.threshold, noise_floor_ms=args.noise_floor_ms
+    )
+    print(f"comparing {old_path.name} -> {new_path.name}")
+    for line in lines:
+        print(line)
+
+    if regressions:
+        comparable = same_host(old, new)
+        heading = (
+            f"{len(regressions)} measurement(s) regressed more than "
+            f"{args.threshold * 100.0:.0f}%:"
+        )
+        print(heading, file=sys.stderr)
+        for regression in regressions:
+            print(f"  {regression}", file=sys.stderr)
+        if comparable or args.strict:
+            return 1
+        print(
+            "hosts differ between snapshots "
+            f"({old.get('platform')!r} / py{old.get('python')} vs "
+            f"{new.get('platform')!r} / py{new.get('python')}); "
+            "treating regressions as warnings (pass --strict to fail)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

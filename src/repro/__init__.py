@@ -66,7 +66,9 @@ from repro.core import (
     compute_quality_tp,
     current_backend,
     set_backend,
+    set_workers,
     use_backend,
+    use_workers,
 )
 from repro.db import (
     ProbabilisticDatabase,

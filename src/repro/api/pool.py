@@ -65,6 +65,10 @@ class SessionPool:
         defaults to by-value.
     backend:
         Kernel selection threaded into every pooled session.
+    workers:
+        Parallel-backend pool size threaded into every pooled session
+        (``None`` defers to the environment; serial backends ignore
+        it).
     """
 
     def __init__(
@@ -72,12 +76,16 @@ class SessionPool:
         max_sessions: int = DEFAULT_MAX_SESSIONS,
         ranking: Optional[RankingFunction] = None,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.max_sessions = max_sessions
         self.ranking = ranking
         self.backend = backend
+        self.workers = workers
         self._lock = threading.Lock()
         self._snapshots: Dict[str, RankedDatabase] = {}
         self._snapshot_locks: Dict[str, threading.Lock] = {}
@@ -206,7 +214,9 @@ class SessionPool:
                 # Built outside the pool lock: construction ranks
                 # nothing (the view exists) but must not block other
                 # snapshots' bookkeeping.
-                session = QuerySession(ranked, backend=self.backend)
+                session = QuerySession(
+                    ranked, backend=self.backend, workers=self.workers
+                )
                 with self._lock:
                     self._store_session(snapshot_id, session)
             yield session

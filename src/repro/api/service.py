@@ -46,6 +46,7 @@ from repro.cleaning.model import (
     build_cleaning_problem,
 )
 from repro.cleaning.random_cleaners import RandPCleaner, RandUCleaner
+from repro.core.parallel import use_workers
 from repro.core.quality import compute_quality_detailed
 from repro.datasets.synthetic import generate_costs, generate_sc_probabilities
 from repro.db.database import ProbabilisticDatabase, RankedDatabase
@@ -67,6 +68,8 @@ _SESSION_COUNTERS = (
     "psr_prefills",
     "cold_derives",
     "delta_derives",
+    "psr_parallel_passes",
+    "psr_parallel_fallbacks",
 )
 
 
@@ -98,6 +101,9 @@ class TopKService:
         Kernel selection forwarded to the private pool only.
     max_sessions:
         LRU bound of the private pool only.
+    workers:
+        Parallel-backend pool size forwarded to the private pool only;
+        a per-request ``spec.workers`` overrides it for that request.
     """
 
     def __init__(
@@ -106,19 +112,25 @@ class TopKService:
         ranking: Optional[RankingFunction] = None,
         backend: Optional[str] = None,
         max_sessions: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> None:
         if pool is not None and (
-            ranking is not None or backend is not None or max_sessions is not None
+            ranking is not None
+            or backend is not None
+            or max_sessions is not None
+            or workers is not None
         ):
             raise ValueError(
-                "pass ranking/backend/max_sessions only when the service "
-                "creates its own pool"
+                "pass ranking/backend/max_sessions/workers only when the "
+                "service creates its own pool"
             )
         if pool is None:
             kwargs: Dict[str, Any] = {}
             if max_sessions is not None:
                 kwargs["max_sessions"] = max_sessions
-            pool = SessionPool(ranking=ranking, backend=backend, **kwargs)
+            pool = SessionPool(
+                ranking=ranking, backend=backend, workers=workers, **kwargs
+            )
         self.pool = pool
 
     # ------------------------------------------------------------------
@@ -154,7 +166,8 @@ class TopKService:
         start = time.perf_counter()
         with self.pool.lease(snapshot_id) as session:
             before = _counters_of(session)
-            payload = self._query_payload(session, spec)
+            with use_workers(spec.workers):
+                payload = self._query_payload(session, spec)
             counters = _counter_delta(before, session)
         return ServiceResult(
             kind="query",
@@ -170,7 +183,8 @@ class TopKService:
         start = time.perf_counter()
         with self.pool.lease(snapshot_id) as session:
             before = _counters_of(session)
-            payload = self._quality_payload(session, spec)
+            with use_workers(spec.workers):
+                payload = self._quality_payload(session, spec)
             counters = _counter_delta(before, session)
         return ServiceResult(
             kind="quality",
@@ -196,32 +210,35 @@ class TopKService:
             # Only items that ride the PSR cache size the shared pass:
             # an enumeration/sampling QualitySpec never reads it, so its
             # (possibly huge) k must not inflate the O(k_max·n) scan.
-            session.prefill(
-                item.k
-                for item in spec.items
-                if isinstance(item, QuerySpec) or item.method == "tp"
-            )
-            items = []
-            for item in spec.items:
-                item_start = time.perf_counter()
-                item_before = _counters_of(session)
-                if isinstance(item, QuerySpec):
-                    kind, payload = "query", self._query_payload(session, item)
-                else:
-                    kind, payload = (
-                        "quality",
-                        self._quality_payload(session, item),
-                    )
-                items.append(
-                    ServiceResult(
-                        kind=kind,
-                        snapshot_id=snapshot_id,
-                        payload=payload,
-                        spec=item.to_dict(),
-                        timing_ms=(time.perf_counter() - item_start) * 1000.0,
-                        counters=_counter_delta(item_before, session),
-                    ).to_dict()
+            # The batch-level workers knob covers the prefill (where the
+            # shared PSR pass actually runs) and every item.
+            with use_workers(spec.workers):
+                session.prefill(
+                    item.k
+                    for item in spec.items
+                    if isinstance(item, QuerySpec) or item.method == "tp"
                 )
+                items = []
+                for item in spec.items:
+                    item_start = time.perf_counter()
+                    item_before = _counters_of(session)
+                    if isinstance(item, QuerySpec):
+                        kind = "query"
+                        payload = self._query_payload(session, item)
+                    else:
+                        kind = "quality"
+                        payload = self._quality_payload(session, item)
+                    items.append(
+                        ServiceResult(
+                            kind=kind,
+                            snapshot_id=snapshot_id,
+                            payload=payload,
+                            spec=item.to_dict(),
+                            timing_ms=(time.perf_counter() - item_start)
+                            * 1000.0,
+                            counters=_counter_delta(item_before, session),
+                        ).to_dict()
+                    )
             counters = _counter_delta(before, session)
         return ServiceResult(
             kind="batch",

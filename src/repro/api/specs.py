@@ -56,6 +56,18 @@ def _check_k(k: Any) -> None:
     )
 
 
+def _check_workers(workers: Any) -> None:
+    _require(
+        workers is None
+        or (
+            isinstance(workers, int)
+            and not isinstance(workers, bool)
+            and workers >= 1
+        ),
+        f"workers must be a positive integer or None, got {workers!r}",
+    )
+
+
 def _spec_to_dict(spec: Any) -> Dict[str, Any]:
     """Encode a spec dataclass as ``{"type": ..., **fields}``."""
     payload: Dict[str, Any] = {"type": type(spec).TYPE}
@@ -85,6 +97,10 @@ class QuerySpec:
     threshold:
         PT-k threshold ``T`` in ``[0, 1]`` (the paper's default 0.1);
         ignored by the other semantics.
+    workers:
+        Process-pool size for the parallel backend's PSR pass;
+        ``None`` (default) defers to the service's environment
+        (``REPRO_WORKERS`` / CPU count).  Serial backends ignore it.
     """
 
     TYPE = "query"
@@ -92,9 +108,11 @@ class QuerySpec:
     k: int
     semantics: str = "all"
     threshold: float = 0.1
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         _check_k(self.k)
+        _check_workers(self.workers)
         _require(
             self.semantics in SEMANTICS,
             f"semantics must be one of {SEMANTICS}, got {self.semantics!r}",
@@ -133,6 +151,10 @@ class QualitySpec:
         standalone.
     samples:
         Sample count for ``"montecarlo"`` (ignored otherwise).
+    workers:
+        Process-pool size for the parallel backend's PSR pass (only
+        meaningful for ``"tp"``); ``None`` defers to the service's
+        environment.
     """
 
     TYPE = "quality"
@@ -140,9 +162,11 @@ class QualitySpec:
     k: int
     method: str = "tp"
     samples: int = 10_000
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         _check_k(self.k)
+        _check_workers(self.workers)
         _require(
             self.method in QUALITY_METHODS,
             f"method must be one of {QUALITY_METHODS}, got {self.method!r}",
@@ -290,20 +314,32 @@ class BatchSpec:
     (:meth:`~repro.queries.engine.QuerySession.prefill`), so the whole
     batch costs one O(k_max·n) pass plus answer extraction -- the
     serving analogue of the paper's Section IV-C computation sharing.
+
+    ``workers`` sizes the parallel backend's pool for the whole batch
+    (the shared pass and any item that misses the cache); per-item
+    ``workers`` values are rejected inside a batch so the shared pass
+    has one unambiguous setting.
     """
 
     TYPE = "batch"
 
     items: Tuple[BatchItem, ...] = field(default_factory=tuple)
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         items = tuple(self.items)
         _require(len(items) >= 1, "a batch needs at least one item")
+        _check_workers(self.workers)
         for item in items:
             _require(
                 isinstance(item, (QuerySpec, QualitySpec)),
                 f"batch items must be QuerySpec or QualitySpec, "
                 f"got {type(item).__name__}",
+            )
+            _require(
+                item.workers is None,
+                "batch items must not set workers individually; "
+                "set it on the BatchSpec",
             )
         object.__setattr__(self, "items", items)
 
@@ -338,7 +374,7 @@ class BatchSpec:
             f"batch payload needs an 'items' list, got {raw_items!r}",
         )
         items = tuple(spec_from_dict(item) for item in raw_items)
-        return cls(items=items)  # type: ignore[arg-type]
+        return cls(items=items, workers=data.get("workers"))  # type: ignore[arg-type]
 
 
 _SPEC_TYPES: Dict[str, type] = {

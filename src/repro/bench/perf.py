@@ -32,6 +32,12 @@ Emits a JSON document with the timings future PRs compare against:
   thread group hammering the same snapshots -- measures the lease /
   LRU bookkeeping overhead under contention (correctness under
   concurrency is covered by ``tests/test_service_pool.py``).
+* ``parallel_scaling``: the sharded process-parallel PSR backend
+  swept over worker counts at ``n ∈ {100k, 1M}``, each point
+  cross-checked against the serial numpy kernel within 1e-9 (the run
+  fails on disagreement).  Records the measuring host's physical core
+  count next to every speedup -- a 1-core container honestly reports
+  oversubscribed numbers rather than fabricating scaling.
 
 The pure-Python backend is skipped above ``PYTHON_BACKEND_MAX_TUPLES``
 tuples when ``--quick`` is requested; the full snapshot runs it
@@ -42,6 +48,7 @@ snapshot runs in seconds on every push.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import random
 import statistics
@@ -116,6 +123,15 @@ BATCH_KS = (15, 25, 50, 100)
 CONTENTION_THREADS = 4
 CONTENTION_OPS = 400
 
+#: Parallel-scaling section: total tuple counts, top-k parameter and
+#: the worker counts swept.  The domain scales with the x-tuple count
+#: so score-interval overlap (and with it the open-factor population
+#: the scan carries) stays at the paper's density instead of growing
+#: with n.
+PARALLEL_SIZES = (100_000, 1_000_000)
+PARALLEL_K = 100
+PARALLEL_WORKER_COUNTS = (1, 2, 4, 8)
+
 
 def _snapshot_ranked(num_tuples: int):
     db = generate_synthetic(
@@ -154,6 +170,143 @@ def psr_snapshot(
             if point.get("python_ms") and point.get("numpy_ms"):
                 point["speedup"] = point["python_ms"] / point["numpy_ms"]
             points.append(point)
+    return points
+
+
+def _parallel_ranked(num_tuples: int):
+    """Paper-density synthetic workload for the scaling sweep.
+
+    The default domain of :class:`~repro.datasets.synthetic.\
+SyntheticConfig` is the paper's fixed ``(0, 10000)``; at 1M tuples
+    that would pile ~800 x-tuples onto every score point and the scan
+    would spend its time in open-factor bookkeeping no real workload
+    exhibits.  Scaling the domain with ``m`` keeps the overlap density
+    exactly at the paper's 5000-x-tuple setting.
+    """
+    m = num_tuples // BARS
+    db = generate_synthetic(
+        num_xtuples=m,
+        completion=COMPLETION,
+        seed=DB_SEED,
+        domain=(0.0, 2.0 * m),
+    )
+    return db.ranked()
+
+
+def parallel_scaling_snapshot(
+    sizes=PARALLEL_SIZES,
+    k: int = PARALLEL_K,
+    worker_counts=PARALLEL_WORKER_COUNTS,
+    repeats: int = 2,
+    block_rows: "int | None" = None,
+) -> List[Dict]:
+    """Parallel-backend scaling sweep with a per-point exactness gate.
+
+    For every ``(n, workers)`` point the parallel result is
+    cross-checked against the serial numpy kernel -- cutoff equality
+    plus a :data:`DERIVE_CHECK_TOLERANCE` bound on every rank
+    probability and top-k probability -- and the run **fails** on
+    disagreement, so the published scaling numbers can never come from
+    a kernel that drifted.  ``host_cpu_count`` is recorded per point:
+    speedups are only meaningful relative to the physical cores the
+    measuring host actually had.
+    """
+    import numpy as np
+
+    from repro.core.parallel import _block_rows, shutdown_pool
+
+    previous_rows = os.environ.get("REPRO_BLOCK_ROWS")
+    if block_rows is not None:
+        os.environ["REPRO_BLOCK_ROWS"] = str(block_rows)
+    points: List[Dict] = []
+    try:
+        for size in sizes:
+            ranked = _parallel_ranked(size)
+            k_eff = min(k, ranked.num_tuples)
+            reference = compute_rank_probabilities(
+                ranked, k_eff, backend="numpy"
+            )
+            numpy_ms = time_call(
+                lambda: compute_rank_probabilities(
+                    ranked, k_eff, backend="numpy"
+                ),
+                repeats=repeats,
+                time_budget_s=240.0,
+            )
+            runs: List[Dict] = []
+            serial_ms = None
+            for workers in worker_counts:
+                result = compute_rank_probabilities(
+                    ranked, k_eff, backend="parallel", workers=workers
+                )
+                if result.cutoff != reference.cutoff:
+                    raise RuntimeError(
+                        f"parallel cutoff {result.cutoff} != serial "
+                        f"{reference.cutoff} at n={ranked.num_tuples}, "
+                        f"workers={workers}"
+                    )
+                max_err = max(
+                    float(
+                        np.max(
+                            np.abs(result.rho_prefix - reference.rho_prefix)
+                        )
+                    ),
+                    float(
+                        np.max(
+                            np.abs(result.topk_prefix - reference.topk_prefix)
+                        )
+                    ),
+                )
+                if max_err > DERIVE_CHECK_TOLERANCE:
+                    raise RuntimeError(
+                        f"parallel kernel diverged from serial numpy by "
+                        f"{max_err:.3e} (> {DERIVE_CHECK_TOLERANCE:.0e}) "
+                        f"at n={ranked.num_tuples}, workers={workers}"
+                    )
+                elapsed_ms = time_call(
+                    lambda: compute_rank_probabilities(
+                        ranked, k_eff, backend="parallel", workers=workers
+                    ),
+                    repeats=repeats,
+                    time_budget_s=240.0,
+                )
+                if serial_ms is None:
+                    serial_ms = elapsed_ms
+                info = result.parallel_info or {}
+                runs.append(
+                    {
+                        "workers": workers,
+                        "parallel_ms": elapsed_ms,
+                        "mode": info.get("mode"),
+                        "fallback": info.get("fallback"),
+                        "blocks": info.get("blocks"),
+                        "speedup_vs_1worker": (
+                            serial_ms / elapsed_ms if elapsed_ms > 0 else None
+                        ),
+                        "speedup_vs_numpy": (
+                            numpy_ms / elapsed_ms if elapsed_ms > 0 else None
+                        ),
+                        "max_abs_error_vs_numpy": max_err,
+                    }
+                )
+            points.append(
+                {
+                    "n": ranked.num_tuples,
+                    "m": ranked.num_xtuples,
+                    "k": k_eff,
+                    "block_rows": _block_rows(),
+                    "host_cpu_count": os.cpu_count(),
+                    "numpy_ms": numpy_ms,
+                    "workers": runs,
+                }
+            )
+    finally:
+        if block_rows is not None:
+            if previous_rows is None:
+                os.environ.pop("REPRO_BLOCK_ROWS", None)
+            else:
+                os.environ["REPRO_BLOCK_ROWS"] = previous_rows
+        shutdown_pool()
     return points
 
 
@@ -540,14 +693,24 @@ def perf_snapshot(quick: bool = False, smoke: bool = False) -> Dict:
         )
         batch = service_batch_snapshot(size=500, m=8)
         contention = pool_contention_snapshot(size=500, ops=100, k=50)
+        # Tiny blocks force a real multi-shard plan (and, with
+        # REPRO_WORKERS >= 2, a real worker pool) even at n=2000.
+        parallel = parallel_scaling_snapshot(
+            sizes=(2_000,),
+            k=50,
+            worker_counts=(1, 2),
+            repeats=1,
+            block_rows=128,
+        )
     else:
         psr = psr_snapshot(quick=quick)
         session = query_session_snapshot()
         adaptive = adaptive_cleaning_snapshot()
         batch = service_batch_snapshot()
         contention = pool_contention_snapshot()
+        parallel = parallel_scaling_snapshot()
     return {
-        "schema": "repro-perf-snapshot/3",
+        "schema": "repro-perf-snapshot/4",
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "workload": {
@@ -561,6 +724,7 @@ def perf_snapshot(quick: bool = False, smoke: bool = False) -> Dict:
         "adaptive_cleaning": adaptive,
         "service_batch": batch,
         "pool_contention": contention,
+        "parallel_scaling": parallel,
     }
 
 
@@ -621,6 +785,30 @@ def format_snapshot(snapshot: Dict) -> str:
             f"{batch['psr_prefills_batch']} prefills, "
             f"max quality err {batch['max_abs_quality_error']:.1e})"
         )
+    parallel = snapshot.get("parallel_scaling")
+    if parallel:
+        lines.append(
+            "# Parallel PSR scaling (sharded backend vs serial numpy)"
+        )
+        for point in parallel:
+            lines.append(
+                f"n={point['n']:>8}  k={point['k']:>3}  "
+                f"B={point['block_rows']}  "
+                f"host_cores={point['host_cpu_count']}: "
+                f"numpy {point['numpy_ms']:9.1f} ms"
+            )
+            for run in point["workers"]:
+                note = (
+                    f" [{run['fallback']}]" if run["fallback"] else ""
+                )
+                lines.append(
+                    f"    workers={run['workers']}: "
+                    f"{run['parallel_ms']:9.1f} ms  "
+                    f"({fmt(run['speedup_vs_1worker'], '.2f')}x vs 1w, "
+                    f"{fmt(run['speedup_vs_numpy'], '.2f')}x vs numpy, "
+                    f"{run['blocks']} blocks, {run['mode']}{note}, "
+                    f"max err {run['max_abs_error_vs_numpy']:.1e})"
+                )
     contention = snapshot.get("pool_contention")
     if contention:
         lines.append("# SessionPool contention (warm lease throughput)")

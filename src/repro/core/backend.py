@@ -1,14 +1,20 @@
-"""Compute-backend selection: vectorized NumPy vs reference Python.
+"""Compute-backend selection: NumPy, reference Python, or multi-process.
 
-The hot kernels (PSR rank probabilities, TP weights, per-x-tuple
-aggregation) exist twice:
+The hot PSR kernel exists three times (TP weights and the per-x-tuple
+aggregations twice):
 
 * ``"numpy"`` -- columnar, array-vectorized kernels; the default
-  whenever NumPy imports.  This is the production path.
+  whenever NumPy imports.  This is the single-core production path.
 * ``"python"`` -- the original scalar reference implementation.  It is
   kept runnable forever so the vectorized kernels can be
   cross-validated against it (and both against the exponential
   possible-world oracles) on every change.
+* ``"parallel"`` -- the sharded multi-process PSR backend
+  (:mod:`repro.core.parallel`): contiguous rank blocks scanned by a
+  ``multiprocessing`` pool over shared-memory column views, combined
+  by a truncated-convolution prefix scan.  Non-PSR kernels (weights,
+  quality aggregation) run their columnar single-core variants under
+  this backend -- the PSR pass is the scaling bottleneck.
 
 Selection, in decreasing precedence:
 
@@ -21,6 +27,10 @@ Selection, in decreasing precedence:
    :func:`use_backend`;
 3. the ``REPRO_BACKEND`` environment variable at import time;
 4. ``"numpy"``.
+
+The parallel backend's worker count is resolved separately (the
+``REPRO_WORKERS`` environment variable, a ``workers=`` argument, or
+the host CPU count -- see :func:`repro.core.parallel.resolve_workers`).
 """
 
 from __future__ import annotations
@@ -32,7 +42,7 @@ from typing import Iterator, Optional
 #: The selectable backends.  NumPy is a hard dependency of the package
 #: (the columnar db layer is built on it); the "python" backend selects
 #: the scalar reference kernels, not a numpy-free mode.
-BACKENDS = ("numpy", "python")
+BACKENDS = ("numpy", "python", "parallel")
 
 
 def _validate(name: str) -> str:
@@ -50,7 +60,7 @@ def current_backend() -> str:
 
 
 def set_backend(name: str) -> None:
-    """Set the process-wide default backend (``"numpy"`` or ``"python"``)."""
+    """Set the process-wide default backend (one of :data:`BACKENDS`)."""
     global _current
     _current = _validate(name)
 

@@ -88,7 +88,7 @@ class TPQualityResult:
         successfully removes exactly ``g(l, D)`` from it (Theorem 2).
         Indexed by the database's x-tuple order.
         """
-        if self.backend == "numpy":
+        if self.backend != "python":
             return self.g_by_xtuple_array().tolist()
         rp = self.rank_probabilities
         g = [0.0] * self.ranked.num_xtuples
@@ -145,7 +145,7 @@ def patch_quality_tp(
         return None
     weights_prefix = np.ascontiguousarray(spliced[:cutoff])
     resolved = resolve_backend(backend)
-    if resolved == "numpy":
+    if resolved != "python":
         quality = float(weights_prefix @ rank_probabilities.topk_prefix)
     else:
         quality = math.fsum(
@@ -219,7 +219,7 @@ def compute_quality_tp(
     weights = compute_weights(
         ranked, upto=rank_probabilities.cutoff, backend=resolved
     )
-    if resolved == "numpy":
+    if resolved != "python":
         quality = float(weights @ rank_probabilities.topk_prefix)
     else:
         quality = math.fsum(

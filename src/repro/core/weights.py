@@ -111,7 +111,7 @@ def compute_weights(
     Returns a float64 array; both backends agree within 1e-9.
     """
     n = ranked.num_tuples if upto is None else min(upto, ranked.num_tuples)
-    if resolve_backend(backend) == "numpy":
+    if resolve_backend(backend) != "python":
         if n == 0:
             return np.zeros(0)
         return _compute_weights_numpy(ranked, n)

@@ -40,7 +40,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Un
 
 import numpy as np
 
-from repro.db.ranking import RankingFunction, by_value
+from repro.db.ranking import RankingFunction, by_value, score_column
 from repro.db.tuples import ProbabilisticTuple, XTuple
 from repro.exceptions import InvalidDatabaseError
 
@@ -420,7 +420,7 @@ class RankedDatabase:
         self.db = db
         self.ranking = ranking
         tuples = list(db)
-        raw_scores = np.array([ranking(t) for t in tuples], dtype=np.float64)
+        raw_scores = score_column(ranking, tuples)
         # Descending score, insertion order as the deterministic
         # tie-break: lexsort's last key dominates.
         insertion = np.arange(len(tuples), dtype=np.int64)
@@ -484,6 +484,17 @@ class RankedDatabase:
         self._probabilities_list = None
         self._completion_list = None
         return self
+
+    def psr_columns(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero-copy export of the PSR scan's input columns.
+
+        Returns ``(probabilities_array, xtuple_indices_array)`` -- the
+        canonical arrays themselves, not copies.  This is the seam the
+        parallel backend publishes into shared memory
+        (:func:`repro.core.parallel.shared_columns`); callers must
+        treat the arrays as read-only.
+        """
+        return self.probabilities_array, self.xtuple_indices_array
 
     # ------------------------------------------------------------------
     # List views (back-compat API over the canonical arrays)

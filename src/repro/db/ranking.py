@@ -15,11 +15,29 @@ higher), matching the paper.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
+
+import numpy as np
 
 from repro.db.tuples import ProbabilisticTuple
 
 ScoreFunction = Callable[[ProbabilisticTuple], float]
+
+
+def score_column(
+    ranking: "RankingFunction", tuples: Sequence[ProbabilisticTuple]
+) -> np.ndarray:
+    """Evaluate a ranking over many tuples into one float64 column.
+
+    This is the canonical-array entry point the columnar
+    :class:`repro.db.database.RankedDatabase` sorts on (and the shape
+    the shared-memory export of :mod:`repro.core.parallel` ultimately
+    mirrors): scores land directly in a contiguous array instead of an
+    intermediate Python list.
+    """
+    return np.fromiter(
+        (ranking(t) for t in tuples), dtype=np.float64, count=len(tuples)
+    )
 
 
 class RankingFunction:

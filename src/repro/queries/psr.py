@@ -24,7 +24,7 @@ out the current x-tuple's own factor.
 
 Backends
 --------
-Two kernels implement the scan behind a common entry point
+Three kernels implement the scan behind a common entry point
 (:func:`compute_rank_probabilities`):
 
 * the **python** kernel below -- the scalar reference implementation,
@@ -32,9 +32,13 @@ Two kernels implement the scan behind a common entry point
 * the **numpy** kernel (:mod:`repro.queries.psr_numpy`) -- a columnar
   formulation that keeps the per-tuple state transition as one fused
   array filter and defers all own-factor deconvolutions into a single
-  batched post-pass vectorized across tuples.
+  batched post-pass vectorized across tuples;
+* the **parallel** kernel (:mod:`repro.core.parallel`) -- the ranked
+  rows sharded into contiguous blocks scanned by a process pool over
+  shared-memory column views, block boundary states derived by a
+  truncated-convolution prefix scan at the coordinator.
 
-Both produce a :class:`RankProbabilities` whose canonical storage is a
+All produce a :class:`RankProbabilities` whose canonical storage is a
 ``(cutoff, k)`` float64 ``rho_prefix`` matrix plus a ``topk_prefix``
 vector -- the columnar shape every downstream consumer (query
 answering, TP quality, cleaning) reads directly.
@@ -264,6 +268,10 @@ class RankProbabilities:
         #: (see :func:`apply_rank_delta`); ``None`` on legacy
         #: construction.
         self.checkpoints = checkpoints
+        #: Execution report of the parallel backend (worker count,
+        #: block count, pool-vs-serial mode, fallback reason); ``None``
+        #: for results the serial kernels produced.
+        self.parallel_info: Optional[Dict[str, object]] = None
 
     @property
     def rho_prefix(self) -> np.ndarray:
@@ -679,7 +687,10 @@ def _delta_window_python(
 
 
 def compute_rank_probabilities(
-    ranked: RankedDatabase, k: int, backend: Optional[str] = None
+    ranked: RankedDatabase,
+    k: int,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> RankProbabilities:
     """Run PSR over a pre-sorted database.
 
@@ -689,12 +700,20 @@ def compute_rank_probabilities(
     stops early as soon as ``k`` x-tuples are guaranteed to contribute a
     higher-ranked tuple (Lemma 2).
 
-    ``backend`` picks the kernel (``"numpy"`` or ``"python"``); when
-    omitted, the process-wide default from :mod:`repro.core.backend`
-    applies.  Both kernels agree within 1e-9 absolute on every entry.
+    ``backend`` picks the kernel (``"numpy"``, ``"python"`` or
+    ``"parallel"``); when omitted, the process-wide default from
+    :mod:`repro.core.backend` applies.  ``workers`` sizes the parallel
+    backend's process pool (ignored by the serial kernels); when
+    omitted it resolves per :func:`repro.core.parallel.resolve_workers`.
+    All backends agree within 1e-9 absolute on every entry.
     """
     require_valid_k(k)
-    if resolve_backend(backend) == "numpy":
+    resolved = resolve_backend(backend)
+    if resolved == "parallel":
+        from repro.core.parallel import compute_rank_probabilities_parallel
+
+        return compute_rank_probabilities_parallel(ranked, k, workers=workers)
+    if resolved == "numpy":
         from repro.queries.psr_numpy import compute_rank_probabilities_numpy
 
         return compute_rank_probabilities_numpy(ranked, k)
@@ -776,7 +795,11 @@ def apply_rank_delta(
         tail_old = tail_new = None
     stop = tail_new if tail_new is not None else new_ranked.num_tuples
 
-    if resolved == "numpy":
+    if resolved != "python":
+        # The numpy window kernel also serves "parallel" results: their
+        # checkpoints sit on block boundaries, so the replay restores
+        # the nearest boundary state and re-runs at most one block's
+        # worth of rows through the serial columnar scan.
         from repro.queries.psr_numpy import _delta_window_numpy
 
         window = _delta_window_numpy(old_rp, delta, start, stop, prefix_ckpts)
