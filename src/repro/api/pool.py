@@ -18,6 +18,13 @@ content_hash`), so registration is idempotent and a snapshot id names
   proceed in parallel.  Registry bookkeeping itself is guarded by one
   short-held pool lock; no lock is ever held across kernel work of a
   *different* snapshot.
+* **Admission** is gated: at most ``max_in_flight`` leases are live at
+  once, a lease request waits at most ``admission_timeout_ms`` for a
+  slot (less, if the request's scoped deadline is tighter), and a
+  saturated pool **sheds** with
+  :class:`~repro.exceptions.ServiceOverloadedError` instead of
+  queueing unboundedly -- overload degrades into fast failures, not
+  into every request timing out.
 
 The pool is the concurrency substrate of
 :class:`~repro.api.service.TopKService`; nothing in it knows about
@@ -31,13 +38,20 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Union
 
+from repro.core.resilience import current_deadline
 from repro.db.database import ProbabilisticDatabase, RankedDatabase
 from repro.db.ranking import RankingFunction, rankings_equivalent
-from repro.exceptions import UnknownSnapshotError
+from repro.exceptions import ServiceOverloadedError, UnknownSnapshotError
 from repro.queries.engine import QuerySession
 
 #: Default bound on concurrently cached sessions.
 DEFAULT_MAX_SESSIONS = 8
+
+#: Default bound on concurrently served leases (the admission gate).
+DEFAULT_MAX_IN_FLIGHT = 32
+
+#: Default bounded wait for an admission slot, in milliseconds.
+DEFAULT_ADMISSION_TIMEOUT_MS = 1000.0
 
 #: Snapshot-id prefix (purely cosmetic; the suffix is the content hash).
 SNAPSHOT_PREFIX = "snap-"
@@ -69,6 +83,14 @@ class SessionPool:
         Parallel-backend pool size threaded into every pooled session
         (``None`` defers to the environment; serial backends ignore
         it).
+    max_in_flight:
+        Admission gate: most leases live at once.  The ``max_in_flight
+        + 1``-th concurrent lease waits for a slot and is shed with
+        :class:`~repro.exceptions.ServiceOverloadedError` if none
+        frees up within the admission timeout.
+    admission_timeout_ms:
+        Longest a lease waits for an admission slot.  A scoped request
+        deadline tighter than this bounds the wait further.
     """
 
     def __init__(
@@ -77,15 +99,29 @@ class SessionPool:
         ranking: Optional[RankingFunction] = None,
         backend: Optional[str] = None,
         workers: Optional[int] = None,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        admission_timeout_ms: float = DEFAULT_ADMISSION_TIMEOUT_MS,
     ) -> None:
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        if not admission_timeout_ms >= 0:
+            raise ValueError(
+                f"admission_timeout_ms must be non-negative, "
+                f"got {admission_timeout_ms}"
+            )
         self.max_sessions = max_sessions
         self.ranking = ranking
         self.backend = backend
         self.workers = workers
+        self.max_in_flight = max_in_flight
+        self.admission_timeout_ms = float(admission_timeout_ms)
+        self._admission = threading.BoundedSemaphore(max_in_flight)
         self._lock = threading.Lock()
         self._snapshots: Dict[str, RankedDatabase] = {}
         self._snapshot_locks: Dict[str, threading.Lock] = {}
@@ -94,6 +130,10 @@ class SessionPool:
         self.session_hits = 0
         self.session_misses = 0
         self.evictions = 0
+        #: Admission telemetry: currently admitted leases and requests
+        #: shed at the gate (guarded by the pool lock).
+        self.in_flight = 0
+        self.shed_requests = 0
 
     # ------------------------------------------------------------------
     # Snapshot registry
@@ -183,6 +223,23 @@ class SessionPool:
             self._sessions.popitem(last=False)
             self.evictions += 1
 
+    def _admit(self) -> None:
+        """Take an admission slot or shed within the bounded wait."""
+        timeout_s = self.admission_timeout_ms / 1000.0
+        deadline = current_deadline()
+        if deadline is not None:
+            timeout_s = min(timeout_s, max(deadline.remaining_s(), 0.0))
+        if not self._admission.acquire(timeout=timeout_s):
+            with self._lock:
+                self.shed_requests += 1
+            raise ServiceOverloadedError(
+                f"{self.max_in_flight} requests already in flight and none "
+                f"finished within {self.admission_timeout_ms:.0f}ms; "
+                f"shedding instead of queueing"
+            )
+        with self._lock:
+            self.in_flight += 1
+
     @contextmanager
     def lease(self, snapshot_id: str) -> Iterator[QuerySession]:
         """Exclusive access to the snapshot's memoized session.
@@ -193,6 +250,12 @@ class SessionPool:
         snapshots run in parallel; leases of the same snapshot
         serialize, which is exactly the guarantee
         :class:`~repro.queries.engine.QuerySession` needs.
+
+        Leases pass the admission gate first: when ``max_in_flight``
+        are already live and none retires within the bounded admission
+        wait, the lease is shed with
+        :class:`~repro.exceptions.ServiceOverloadedError` rather than
+        joining an unbounded queue.
         """
         with self._lock:
             try:
@@ -202,24 +265,36 @@ class SessionPool:
                 raise UnknownSnapshotError(
                     f"unknown snapshot id {snapshot_id!r}"
                 ) from None
-        with snapshot_lock:
+        self._admit()
+        try:
+            with snapshot_lock:
+                yield self._leased_session(snapshot_id, ranked)
+        finally:
             with self._lock:
-                session = self._sessions.get(snapshot_id)
-                if session is not None:
-                    self._sessions.move_to_end(snapshot_id)
-                    self.session_hits += 1
-                else:
-                    self.session_misses += 1
-            if session is None:
-                # Built outside the pool lock: construction ranks
-                # nothing (the view exists) but must not block other
-                # snapshots' bookkeeping.
-                session = QuerySession(
-                    ranked, backend=self.backend, workers=self.workers
-                )
-                with self._lock:
-                    self._store_session(snapshot_id, session)
-            yield session
+                self.in_flight -= 1
+            self._admission.release()
+
+    def _leased_session(
+        self, snapshot_id: str, ranked: RankedDatabase
+    ) -> QuerySession:
+        """The memoized session; caller holds the snapshot lock."""
+        with self._lock:
+            session = self._sessions.get(snapshot_id)
+            if session is not None:
+                self._sessions.move_to_end(snapshot_id)
+                self.session_hits += 1
+            else:
+                self.session_misses += 1
+        if session is None:
+            # Built outside the pool lock: construction ranks
+            # nothing (the view exists) but must not block other
+            # snapshots' bookkeeping.
+            session = QuerySession(
+                ranked, backend=self.backend, workers=self.workers
+            )
+            with self._lock:
+                self._store_session(snapshot_id, session)
+        return session
 
     def clear_sessions(self) -> None:
         """Drop every memoized session (snapshots stay registered)."""

@@ -45,9 +45,16 @@ class ServiceResult:
     timing_ms:
         Wall-clock service time of this request.
     counters:
-        Cache/cost counters consumed by this request: the session's
-        ``psr_hits`` / ``psr_misses`` / ``psr_patches`` /
-        ``psr_prefills`` deltas plus the pool's session reuse flag.
+        Cache/cost counters consumed by this request, as per-request
+        deltas of the session's cumulative totals: ``psr_hits`` /
+        ``psr_misses`` / ``psr_patches`` / ``psr_prefills`` /
+        ``cold_derives`` / ``delta_derives`` (cache behaviour),
+        ``psr_parallel_passes`` / ``psr_parallel_fallbacks`` (which
+        kernel ran), and the resilience trio ``psr_retries`` /
+        ``psr_pool_restarts`` / ``psr_degraded`` (supervised retries,
+        worker-pool rebuilds, and passes that degraded past the pooled
+        kernel -- all zero on a healthy run, so any non-zero value is
+        a recovered fault made visible).
     """
 
     kind: str

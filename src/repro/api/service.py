@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
 
 from repro.api.pool import SessionPool
 from repro.api.results import ServiceResult
@@ -48,6 +49,7 @@ from repro.cleaning.model import (
 from repro.cleaning.random_cleaners import RandPCleaner, RandUCleaner
 from repro.core.parallel import use_workers
 from repro.core.quality import compute_quality_detailed
+from repro.core.resilience import Deadline, check_deadline, scoped
 from repro.datasets.synthetic import generate_costs, generate_sc_probabilities
 from repro.db.database import ProbabilisticDatabase, RankedDatabase
 from repro.db.ranking import RankingFunction
@@ -70,6 +72,9 @@ _SESSION_COUNTERS = (
     "delta_derives",
     "psr_parallel_passes",
     "psr_parallel_fallbacks",
+    "psr_retries",
+    "psr_pool_restarts",
+    "psr_degraded",
 )
 
 
@@ -104,6 +109,9 @@ class TopKService:
     workers:
         Parallel-backend pool size forwarded to the private pool only;
         a per-request ``spec.workers`` overrides it for that request.
+    max_in_flight / admission_timeout_ms:
+        Admission-gate settings forwarded to the private pool only
+        (see :class:`~repro.api.pool.SessionPool`).
     """
 
     def __init__(
@@ -113,25 +121,53 @@ class TopKService:
         backend: Optional[str] = None,
         max_sessions: Optional[int] = None,
         workers: Optional[int] = None,
+        max_in_flight: Optional[int] = None,
+        admission_timeout_ms: Optional[float] = None,
     ) -> None:
         if pool is not None and (
             ranking is not None
             or backend is not None
             or max_sessions is not None
             or workers is not None
+            or max_in_flight is not None
+            or admission_timeout_ms is not None
         ):
             raise ValueError(
-                "pass ranking/backend/max_sessions/workers only when the "
-                "service creates its own pool"
+                "pass ranking/backend/max_sessions/workers/max_in_flight/"
+                "admission_timeout_ms only when the service creates its "
+                "own pool"
             )
         if pool is None:
             kwargs: Dict[str, Any] = {}
             if max_sessions is not None:
                 kwargs["max_sessions"] = max_sessions
+            if max_in_flight is not None:
+                kwargs["max_in_flight"] = max_in_flight
+            if admission_timeout_ms is not None:
+                kwargs["admission_timeout_ms"] = admission_timeout_ms
             pool = SessionPool(
                 ranking=ranking, backend=backend, workers=workers, **kwargs
             )
         self.pool = pool
+
+    @contextmanager
+    def _admitted(self, spec: Any) -> Iterator[None]:
+        """Scope a request's deadline / retry policy around its work.
+
+        An already-expired ``deadline_ms`` sheds the request here --
+        with :class:`~repro.exceptions.DeadlineExceededError`, before
+        the session lease, the admission gate, or any PSR work is
+        touched.  The scope is thread-local, so concurrently served
+        requests never see each other's deadlines.
+        """
+        deadline = (
+            Deadline.after_ms(spec.deadline_ms)
+            if spec.deadline_ms is not None
+            else None
+        )
+        with scoped(deadline, spec.retry_policy):
+            check_deadline("at request admission")
+            yield
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -164,7 +200,8 @@ class TopKService:
     def query(self, snapshot_id: str, spec: QuerySpec) -> ServiceResult:
         """Answer the requested top-k semantics on one snapshot."""
         start = time.perf_counter()
-        with self.pool.lease(snapshot_id) as session:
+        with self._admitted(spec), self.pool.lease(snapshot_id) as session:
+            check_deadline("after queueing for a session lease")
             before = _counters_of(session)
             with use_workers(spec.workers):
                 payload = self._query_payload(session, spec)
@@ -181,7 +218,8 @@ class TopKService:
     def quality(self, snapshot_id: str, spec: QualitySpec) -> ServiceResult:
         """Score the top-k query's PWS-quality on one snapshot."""
         start = time.perf_counter()
-        with self.pool.lease(snapshot_id) as session:
+        with self._admitted(spec), self.pool.lease(snapshot_id) as session:
+            check_deadline("after queueing for a session lease")
             before = _counters_of(session)
             with use_workers(spec.workers):
                 payload = self._quality_payload(session, spec)
@@ -205,7 +243,8 @@ class TopKService:
         result payload carries one envelope dict per item, in order.
         """
         start = time.perf_counter()
-        with self.pool.lease(snapshot_id) as session:
+        with self._admitted(spec), self.pool.lease(snapshot_id) as session:
+            check_deadline("after queueing for a session lease")
             before = _counters_of(session)
             # Only items that ride the PSR cache size the shared pass:
             # an enumeration/sampling QualitySpec never reads it, so its
@@ -263,7 +302,8 @@ class TopKService:
         untouched and report the plan and its expected improvement.
         """
         start = time.perf_counter()
-        with self.pool.lease(snapshot_id) as session:
+        with self._admitted(spec), self.pool.lease(snapshot_id) as session:
+            check_deadline("after queueing for a session lease")
             before = _counters_of(session)
             db = session.db
             costs, sc = self._cleaning_inputs(session.ranked, spec)

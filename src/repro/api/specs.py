@@ -32,6 +32,7 @@ import math
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
+from repro.core.resilience import RetryPolicy
 from repro.exceptions import InvalidSpecError
 
 #: Query semantics a :class:`QuerySpec` may request.
@@ -68,6 +69,40 @@ def _check_workers(workers: Any) -> None:
     )
 
 
+def _check_resilience(spec: Any) -> None:
+    """Validate / coerce the shared ``deadline_ms`` + ``retry_policy``.
+
+    ``deadline_ms`` is a relative budget (positive, finite); the service
+    converts it to an absolute :class:`~repro.core.resilience.Deadline`
+    at admission.  ``retry_policy`` accepts a
+    :class:`~repro.core.resilience.RetryPolicy` or its ``to_dict`` form
+    (so specs deserialize from plain JSON).
+    """
+    deadline_ms = spec.deadline_ms
+    _require(
+        deadline_ms is None
+        or (
+            isinstance(deadline_ms, (int, float))
+            and not isinstance(deadline_ms, bool)
+            and math.isfinite(deadline_ms)
+            and deadline_ms > 0
+        ),
+        f"deadline_ms must be a positive number or None, got {deadline_ms!r}",
+    )
+    if deadline_ms is not None:
+        object.__setattr__(spec, "deadline_ms", float(deadline_ms))
+    policy = spec.retry_policy
+    if policy is None or isinstance(policy, RetryPolicy):
+        return
+    if isinstance(policy, Mapping):
+        object.__setattr__(spec, "retry_policy", RetryPolicy.from_dict(policy))
+        return
+    raise InvalidSpecError(
+        f"retry_policy must be a RetryPolicy, its to_dict form, or None, "
+        f"got {policy!r}"
+    )
+
+
 def _spec_to_dict(spec: Any) -> Dict[str, Any]:
     """Encode a spec dataclass as ``{"type": ..., **fields}``."""
     payload: Dict[str, Any] = {"type": type(spec).TYPE}
@@ -80,6 +115,8 @@ def _spec_to_dict(spec: Any) -> Dict[str, Any]:
             ]
         elif isinstance(value, Mapping):
             value = dict(value)
+        elif hasattr(value, "to_dict"):
+            value = value.to_dict()
         payload[f.name] = value
     return payload
 
@@ -101,6 +138,14 @@ class QuerySpec:
         Process-pool size for the parallel backend's PSR pass;
         ``None`` (default) defers to the service's environment
         (``REPRO_WORKERS`` / CPU count).  Serial backends ignore it.
+    deadline_ms:
+        Relative completion budget.  An expired deadline sheds the
+        request with :class:`~repro.exceptions.DeadlineExceededError`
+        before any PSR work; ``None`` (default) means no deadline.
+    retry_policy:
+        Worker-supervision :class:`~repro.core.resilience.RetryPolicy`
+        for this request (accepts its ``to_dict`` form); ``None``
+        defers to the environment defaults.
     """
 
     TYPE = "query"
@@ -109,10 +154,13 @@ class QuerySpec:
     semantics: str = "all"
     threshold: float = 0.1
     workers: Optional[int] = None
+    deadline_ms: Optional[float] = None
+    retry_policy: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         _check_k(self.k)
         _check_workers(self.workers)
+        _check_resilience(self)
         _require(
             self.semantics in SEMANTICS,
             f"semantics must be one of {SEMANTICS}, got {self.semantics!r}",
@@ -155,6 +203,8 @@ class QualitySpec:
         Process-pool size for the parallel backend's PSR pass (only
         meaningful for ``"tp"``); ``None`` defers to the service's
         environment.
+    deadline_ms / retry_policy:
+        Request-level resilience settings (see :class:`QuerySpec`).
     """
 
     TYPE = "quality"
@@ -163,10 +213,13 @@ class QualitySpec:
     method: str = "tp"
     samples: int = 10_000
     workers: Optional[int] = None
+    deadline_ms: Optional[float] = None
+    retry_policy: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         _check_k(self.k)
         _check_workers(self.workers)
+        _check_resilience(self)
         _require(
             self.method in QUALITY_METHODS,
             f"method must be one of {QUALITY_METHODS}, got {self.method!r}",
@@ -225,6 +278,10 @@ class CleaningSpec:
         round re-plans, so no single upfront plan describes the run).
     seed:
         Probe-outcome randomness seed (simulations are reproducible).
+    deadline_ms / retry_policy:
+        Request-level resilience settings (see :class:`QuerySpec`).  A
+        deadline covers the whole cleaning run, re-planning rounds
+        included.
     """
 
     TYPE = "cleaning"
@@ -239,9 +296,12 @@ class CleaningSpec:
     execute: bool = True
     adaptive: bool = False
     seed: int = 0
+    deadline_ms: Optional[float] = None
+    retry_policy: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         _check_k(self.k)
+        _check_resilience(self)
         _require(
             isinstance(self.budget, int)
             and not isinstance(self.budget, bool)
@@ -318,29 +378,36 @@ class BatchSpec:
     ``workers`` sizes the parallel backend's pool for the whole batch
     (the shared pass and any item that misses the cache); per-item
     ``workers`` values are rejected inside a batch so the shared pass
-    has one unambiguous setting.
+    has one unambiguous setting.  ``deadline_ms`` and ``retry_policy``
+    follow the same rule: the shared PSR pass serves every item, so a
+    per-item deadline or policy would be unenforceable -- set them on
+    the batch, where they cover the whole fan-out.
     """
 
     TYPE = "batch"
 
     items: Tuple[BatchItem, ...] = field(default_factory=tuple)
     workers: Optional[int] = None
+    deadline_ms: Optional[float] = None
+    retry_policy: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         items = tuple(self.items)
         _require(len(items) >= 1, "a batch needs at least one item")
         _check_workers(self.workers)
+        _check_resilience(self)
         for item in items:
             _require(
                 isinstance(item, (QuerySpec, QualitySpec)),
                 f"batch items must be QuerySpec or QualitySpec, "
                 f"got {type(item).__name__}",
             )
-            _require(
-                item.workers is None,
-                "batch items must not set workers individually; "
-                "set it on the BatchSpec",
-            )
+            for label in ("workers", "deadline_ms", "retry_policy"):
+                _require(
+                    getattr(item, label) is None,
+                    f"batch items must not set {label} individually; "
+                    f"set it on the BatchSpec",
+                )
         object.__setattr__(self, "items", items)
 
     @property
@@ -374,7 +441,12 @@ class BatchSpec:
             f"batch payload needs an 'items' list, got {raw_items!r}",
         )
         items = tuple(spec_from_dict(item) for item in raw_items)
-        return cls(items=items, workers=data.get("workers"))  # type: ignore[arg-type]
+        return cls(  # type: ignore[arg-type]
+            items=items,
+            workers=data.get("workers"),
+            deadline_ms=data.get("deadline_ms"),
+            retry_policy=data.get("retry_policy"),
+        )
 
 
 _SPEC_TYPES: Dict[str, type] = {

@@ -42,6 +42,7 @@ from repro.api.results import ServiceResult
 from repro.api.service import TopKService
 from repro.api.specs import PLANNERS, CleaningSpec, QualitySpec, QuerySpec
 from repro.core.quality import METHODS
+from repro.exceptions import ReproError
 from repro.datasets.mov import generate_mov
 from repro.datasets.synthetic import generate_synthetic
 from repro.db import io
@@ -127,7 +128,12 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_quality(args: argparse.Namespace) -> int:
     """``repro quality``: score a top-k query's ambiguity."""
     service, snapshot_id = _service_for(args.db, args.ranking)
-    spec = QualitySpec(k=args.k, method=args.method, samples=args.samples)
+    spec = QualitySpec(
+        k=args.k,
+        method=args.method,
+        samples=args.samples,
+        deadline_ms=args.deadline_ms,
+    )
     result = service.quality(snapshot_id, spec)
     payload = result.payload
     print(f"PWS-quality (k={args.k}, {args.method}): {payload['quality']:.6f}")
@@ -141,7 +147,10 @@ def cmd_query(args: argparse.Namespace) -> int:
     """``repro query``: answer the probabilistic top-k semantics."""
     service, snapshot_id = _service_for(args.db, args.ranking)
     spec = QuerySpec(
-        k=args.k, semantics=args.semantics, threshold=args.threshold
+        k=args.k,
+        semantics=args.semantics,
+        threshold=args.threshold,
+        deadline_ms=args.deadline_ms,
     )
     result = service.query(snapshot_id, spec)
     payload = result.payload
@@ -199,6 +208,7 @@ def cmd_clean(args: argparse.Namespace) -> int:
         sc_seed=args.sc_seed,
         execute=execute,
         seed=args.execute_seed,
+        deadline_ms=args.deadline_ms,
     )
     result = service.clean(snapshot_id, spec)
     payload = result.payload
@@ -258,6 +268,12 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--method", choices=METHODS, default="tp")
     q.add_argument("--samples", type=int, default=10_000)
     q.add_argument("--ranking", choices=("value", "mov"), default="value")
+    q.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="shed the request with a typed error past this budget",
+    )
     q.add_argument("--json", help="write the wire envelope here")
     q.set_defaults(fn=cmd_quality)
 
@@ -271,6 +287,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     r.add_argument("--threshold", type=float, default=0.1)
     r.add_argument("--ranking", choices=("value", "mov"), default="value")
+    r.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="shed the request with a typed error past this budget",
+    )
     r.add_argument("--json", help="write the wire envelope here")
     r.set_defaults(fn=cmd_query)
 
@@ -298,6 +320,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON envelope from a previous query/quality run; supplies "
         "db, ranking and k unless overridden",
     )
+    c.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="shed the request with a typed error past this budget",
+    )
     c.add_argument("--json", help="write the wire envelope here")
     c.add_argument("--verbose", "-v", action="store_true")
     c.set_defaults(fn=cmd_clean)
@@ -306,9 +334,33 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Library errors -- validation failures, shed deadlines, an
+    overloaded service -- exit 1 with a one-line message on stderr and
+    (with ``--json``) a typed error envelope
+    ``{"error": {"type": ..., "message": ...}}`` in place of the
+    result, so scripted callers branch on the error type instead of
+    parsing a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        json_path = getattr(args, "json", None)
+        if json_path is not None:
+            envelope = {
+                "command": args.command,
+                "error": {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                },
+            }
+            with open(json_path, "w", encoding="utf-8") as f:
+                json.dump(envelope, f, indent=2)
+                f.write("\n")
+        print(f"error [{type(exc).__name__}]: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -50,6 +50,29 @@ pay for itself or cannot be built: one resolved worker, a single live
 block, shared memory unavailable, or pool setup failure.  The reason is
 reported in the result's ``parallel_info`` so sessions can count
 fallbacks.
+
+Supervision and degradation
+---------------------------
+Pooled passes run under worker supervision: a crashed worker
+(``BrokenProcessPool``), a hung worker (no task completes within the
+:class:`~repro.core.resilience.RetryPolicy`'s progress timeout), or a
+failed task makes the supervisor kill and rebuild the pool as needed
+and retry the outstanding shards with capped exponential backoff +
+deterministic jitter.  When the attempt budget is exhausted, the run
+*degrades* instead of erroring: first to the in-process sharded scan
+(bit-identical math), and -- should that fail too -- to the NumPy
+kernel (1e-9-identical).  What happened is visible in
+``parallel_info``: ``retries``, ``pool_restarts``, and ``degraded``
+(``None`` / ``"serial"`` / ``"numpy"``), which sessions surface as the
+``psr_retries`` / ``psr_pool_restarts`` / ``psr_degraded`` counters.
+Scoped request deadlines (:mod:`repro.core.resilience`) are honoured
+at every supervision wait; faults for the test harness are injected
+via :mod:`repro.testing.faults`.
+
+Every shared-memory segment the coordinator creates is registered in a
+process-local registry under a ``repro_*`` name until it is unlinked,
+so tests can assert zero leaks; all failure paths (including
+``KeyboardInterrupt`` mid-scan) release the segments they created.
 """
 
 from __future__ import annotations
@@ -58,19 +81,50 @@ import atexit
 import multiprocessing
 import os
 import weakref
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError as FuturesCancelledError,
+    Future,
+    ProcessPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+    wait as futures_wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import shared_memory
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.core.pwr import prefix_factor_products, truncated_factor_product
+from repro.core.resilience import (
+    RetryPolicy,
+    check_deadline,
+    current_deadline,
+    interruptible_sleep,
+    resolve_retry_policy,
+)
+from repro.exceptions import (
+    DeadlineExceededError,
+    FaultInjectedError,
+    RetryExhaustedError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.db.database import RankedDatabase
     from repro.queries.psr import RankProbabilities
+    from repro.testing.faults import FaultPlan
 
 #: Rows per shard.  Independent of the worker count so that results are
 #: bit-identical no matter how many processes share the work; small
@@ -162,21 +216,72 @@ def use_workers(workers: Optional[int]) -> Iterator[Optional[int]]:
 #: ``(segment name, shape, dtype string)``.
 ArraySpec = Tuple[str, Tuple[int, ...], str]
 
+#: Name prefix of every segment this library creates.  The leak-check
+#: fixture greps ``/dev/shm`` for it, so keep it distinctive.
+SEGMENT_PREFIX = "repro_"
+
+#: Names of every live (created, not yet unlinked) segment of this
+#: process.  ``_Segment`` registers on create and deregisters on
+#: destroy; tests assert the registry drains to exactly the cached
+#: column segments (and to nothing once caches are cleared).
+_live_segments: Set[str] = set()
+
+_segment_seq = 0
+
+
+def _next_segment_name() -> str:
+    """A fresh ``repro_<pid>_<seq>`` segment name."""
+    global _segment_seq
+    _segment_seq += 1
+    return f"{SEGMENT_PREFIX}{os.getpid()}_{_segment_seq}"
+
+
+def live_segment_names() -> Set[str]:
+    """Names of segments this process created and has not unlinked."""
+    return set(_live_segments)
+
+
+def untracked_segment_names() -> Set[str]:
+    """Live segments with **no** owner -- a leak, always.
+
+    The cached column mirrors (:func:`shared_columns`) legitimately
+    stay live between calls; anything else still registered has
+    escaped a ``finally`` and would survive on ``/dev/shm``.
+    """
+    owned: Set[str] = set()
+    for columns in _column_cache.values():
+        owned.add(columns.probabilities.spec[0])
+        owned.add(columns.xtuples.spec[0])
+    return _live_segments - owned
+
 
 class _Segment:
     """One shared-memory segment mirroring a NumPy array."""
 
     def __init__(self, array: np.ndarray) -> None:
-        self.shm = shared_memory.SharedMemory(
-            create=True, size=max(array.nbytes, 1)
-        )
+        # Named create so leaks are attributable; retry on the (test
+        # re-entrancy / crashed predecessor) case of a name collision.
+        while True:
+            name = _next_segment_name()
+            try:
+                self.shm = shared_memory.SharedMemory(
+                    create=True, size=max(array.nbytes, 1), name=name
+                )
+                break
+            except FileExistsError:  # pragma: no cover - crashed leftover
+                continue
+        _live_segments.add(self.shm.name)
         self.spec: ArraySpec = (
             self.shm.name, tuple(array.shape), str(array.dtype)
         )
-        view: np.ndarray = np.ndarray(
-            array.shape, dtype=array.dtype, buffer=self.shm.buf
-        )
-        view[...] = array
+        try:
+            view: np.ndarray = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=self.shm.buf
+            )
+            view[...] = array
+        except BaseException:
+            self.destroy()
+            raise
 
     def array(self) -> np.ndarray:
         """The coordinator-side view of the segment."""
@@ -190,6 +295,7 @@ class _Segment:
             self.shm.unlink()
         except FileNotFoundError:
             pass
+        _live_segments.discard(self.shm.name)
 
 
 class SharedColumns:
@@ -203,7 +309,12 @@ class SharedColumns:
 
     def __init__(self, probabilities: np.ndarray, xtuples: np.ndarray) -> None:
         self.probabilities = _Segment(np.ascontiguousarray(probabilities))
-        self.xtuples = _Segment(np.ascontiguousarray(xtuples))
+        try:
+            self.xtuples = _Segment(np.ascontiguousarray(xtuples))
+        except BaseException:
+            # Never leak the first segment because the second failed.
+            self.probabilities.destroy()
+            raise
 
     def specs(self) -> Tuple[ArraySpec, ArraySpec]:
         """The picklable ``(probabilities, xtuple indices)`` handles."""
@@ -252,6 +363,21 @@ def shared_columns(ranked: "RankedDatabase") -> SharedColumns:
     return columns
 
 
+def release_columns_for(ranked: "RankedDatabase") -> None:
+    """Eagerly drop (and unlink) a ranked view's cached column mirror.
+
+    Failure paths call this so a run that died mid-scan does not pin
+    ``/dev/shm`` space until the view happens to be garbage-collected;
+    the next successful run simply republishes the columns.
+    """
+    _release_columns(id(ranked))
+
+
+def clear_column_cache() -> None:
+    """Unlink every cached column segment (tests and diagnostics)."""
+    _release_all_columns()
+
+
 # ---------------------------------------------------------------------------
 # Worker-side attach
 # ---------------------------------------------------------------------------
@@ -281,6 +407,11 @@ def _attach(spec: ArraySpec) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
 
 _pool: Optional[ProcessPoolExecutor] = None
 _pool_size = 0
+_pool_method: Optional[str] = None
+
+#: Pools ever (re)built in this process -- a cheap observability hook
+#: for tests asserting that supervision actually rebuilt the pool.
+pool_builds = 0
 
 
 def _pick_context() -> multiprocessing.context.BaseContext:
@@ -296,27 +427,71 @@ def _pick_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
+def _pool_is_broken() -> bool:
+    """Whether the cached pool has been marked broken by the executor."""
+    return _pool is not None and getattr(_pool, "_broken", False) is not False
+
+
 def _get_pool(workers: int) -> ProcessPoolExecutor:
-    """The process pool, (re)built when the requested size changes."""
-    global _pool, _pool_size
-    if _pool is not None and _pool_size == workers:
+    """The process pool, (re)built when size, context, or health changed.
+
+    The cache is keyed by worker count **and** start-method: a
+    fork-context change (e.g. a test overriding :func:`_pick_context`)
+    invalidates it, and a pool the executor marked broken (a worker
+    SIGKILLed between requests) is torn down and rebuilt instead of
+    poisoning every future submission.
+    """
+    global _pool, _pool_size, _pool_method, pool_builds
+    context = _pick_context()
+    method = context.get_start_method()
+    if (
+        _pool is not None
+        and _pool_size == workers
+        and _pool_method == method
+        and not _pool_is_broken()
+    ):
         return _pool
     if _pool is not None:
-        _pool.shutdown(wait=True, cancel_futures=True)
-    _pool = ProcessPoolExecutor(
-        max_workers=workers, mp_context=_pick_context()
-    )
+        _pool.shutdown(wait=not _pool_is_broken(), cancel_futures=True)
+    _pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
     _pool_size = workers
+    _pool_method = method
+    pool_builds += 1
     return _pool
+
+
+def _kill_pool() -> None:
+    """Forcibly tear the pool down, SIGKILLing its workers.
+
+    The supervisor's hang path: a worker stuck in a task never exits on
+    a polite ``shutdown``, so the processes are killed first and the
+    executor (now broken, which it tolerates) is discarded.
+    """
+    global _pool, _pool_size, _pool_method
+    if _pool is None:
+        return
+    for process in list(getattr(_pool, "_processes", {}).values()):
+        try:
+            process.kill()
+        except (OSError, AttributeError):  # pragma: no cover - racing exit
+            pass
+    _pool.shutdown(wait=False, cancel_futures=True)
+    _pool = None
+    _pool_size = 0
+    _pool_method = None
 
 
 def shutdown_pool() -> None:
     """Tear down the worker pool (tests and ``atexit``)."""
-    global _pool, _pool_size
+    global _pool, _pool_size, _pool_method
     if _pool is not None:
+        if _pool_is_broken():
+            _kill_pool()
+            return
         _pool.shutdown(wait=True, cancel_futures=True)
         _pool = None
         _pool_size = 0
+        _pool_method = None
 
 
 atexit.register(shutdown_pool)
@@ -516,8 +691,19 @@ def _scan_block_task(
     shift: int,
     open_items: Tuple[Tuple[int, float], ...],
     prefix: np.ndarray,
+    fault: Optional[Mapping[str, Any]] = None,
 ) -> int:
-    """Worker entry point for pass 2: attach shm views, scan one block."""
+    """Worker entry point for pass 2: attach shm views, scan one block.
+
+    ``fault`` is a directive from the coordinator's armed
+    :class:`~repro.testing.faults.FaultPlan` (``None`` in production);
+    it executes *before* any shared memory is mapped, so an injected
+    death never strands a worker-side mapping.
+    """
+    if fault is not None:
+        from repro.testing.faults import execute_worker_fault
+
+        execute_worker_fault(fault)
     handles = [
         _attach(spec)
         for spec in (
@@ -558,6 +744,219 @@ def _chunk(count: int, parts: int) -> List[Tuple[int, int]]:
 
 
 # ---------------------------------------------------------------------------
+# Worker supervision
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _SupervisionStats:
+    """What supervision had to do to finish one PSR run."""
+
+    retries: int = 0
+    pool_restarts: int = 0
+
+
+def _supervised_factors(
+    pool_workers: int,
+    interior: List[Tuple[float, ...]],
+    k: int,
+    policy: RetryPolicy,
+    stats: _SupervisionStats,
+) -> List[np.ndarray]:
+    """Pass 1 with a one-shot fallback: pooled, else in-process.
+
+    Factor folding is cheap (milliseconds even at n=100k), so a failed
+    or hung pooled attempt is not worth a retry loop -- the in-process
+    computation *is* the retry, bit-identical by construction.  Broken
+    or timed-out pools are killed so pass 2 starts from a fresh one.
+    """
+    try:
+        pool = _get_pool(pool_workers)
+        spans = _chunk(len(interior), pool_workers)
+        futures = [
+            pool.submit(_block_factors_task, k, interior[lo:hi])
+            for lo, hi in spans
+        ]
+        timeout = policy.resolved_task_timeout_s()
+        return [
+            factor
+            for future in futures
+            for factor in future.result(timeout=timeout)
+        ]
+    except (Exception, FuturesCancelledError) as exc:
+        stats.retries += 1
+        if isinstance(exc, FuturesTimeoutError) or _pool_is_broken():
+            _kill_pool()
+            stats.pool_restarts += 1
+        return _block_factors_task(k, interior)
+
+
+def _supervised_scan(
+    pool_workers: int,
+    blocks: Tuple[_Block, ...],
+    prefixes: List[np.ndarray],
+    columns: SharedColumns,
+    out_rho: _Segment,
+    out_topk: _Segment,
+    num_xtuples: int,
+    k: int,
+    policy: RetryPolicy,
+    faults: Optional["FaultPlan"],
+    stats: _SupervisionStats,
+) -> Dict[int, int]:
+    """Pass 2 under full supervision: retry, rebuild, back off, or give up.
+
+    Submits every outstanding block to the pool and collects results as
+    they complete.  Three failure shapes are recovered from:
+
+    * **crash** -- a worker died (``BrokenProcessPool`` from a result
+      or a submit): the pool is killed and rebuilt;
+    * **hang** -- no task completed within the policy's progress
+      timeout: the workers are SIGKILLed (a polite shutdown never
+      returns from a stuck task) and the pool rebuilt;
+    * **task error** -- a task raised (e.g. an shm attach failure):
+      the pool is healthy, only the failed blocks are retried.
+
+    Completed blocks are never re-run -- their output slices are
+    already written and disjoint -- so a retry costs only the failed
+    remainder.  Between attempts the supervisor sleeps the policy's
+    capped exponential backoff (deterministic jitter) without ever
+    sleeping past the scoped deadline; exhausting ``max_attempts``
+    raises :class:`RetryExhaustedError`, which the entry point turns
+    into degradation rather than an error.
+    """
+    outstanding = set(range(len(blocks)))
+    ends: Dict[int, int] = {}
+    attempt = 1
+    last_error: Optional[BaseException] = None
+    while True:
+        check_deadline("before a supervised scan attempt")
+        try:
+            pool = _get_pool(pool_workers)
+        except (OSError, ValueError, RuntimeError) as exc:
+            raise RetryExhaustedError(
+                f"worker pool could not be rebuilt: {exc}"
+            ) from exc
+        future_blocks: Dict["Future[int]", int] = {}
+        submit_error: Optional[BaseException] = None
+        for b in sorted(outstanding):
+            block = blocks[b]
+            fault = faults.draw("task", b) if faults is not None else None
+            try:
+                future = pool.submit(
+                    _scan_block_task,
+                    columns.specs(),
+                    out_rho.spec,
+                    out_topk.spec,
+                    num_xtuples,
+                    k,
+                    block.start,
+                    block.stop,
+                    block.shift,
+                    block.open_items,
+                    prefixes[b],
+                    fault,
+                )
+            except (BrokenProcessPool, RuntimeError) as exc:
+                submit_error = exc
+                break
+            future_blocks[future] = b
+        failed: Set[int] = set()
+        hung = False
+        pending = set(future_blocks)
+        progress_timeout = policy.resolved_task_timeout_s()
+        while pending:
+            deadline = current_deadline()
+            wait_s = progress_timeout
+            if deadline is not None:
+                remaining = deadline.remaining_s()
+                if remaining <= 0:
+                    check_deadline("while awaiting scan shards")
+                wait_s = min(wait_s, max(remaining, 0.001))
+            done, not_done = futures_wait(
+                pending, timeout=wait_s, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # No progress inside the window: deadline first (the
+                # request is dead either way), then declare a hang.
+                check_deadline("while awaiting scan shards")
+                hung = True
+                failed.update(future_blocks[f] for f in not_done)
+                last_error = TimeoutError(
+                    f"no shard completed within {progress_timeout:.3f}s"
+                )
+                break
+            for future in done:
+                b = future_blocks[future]
+                try:
+                    ends[b] = future.result()
+                    outstanding.discard(b)
+                except (Exception, FuturesCancelledError) as exc:
+                    failed.add(b)
+                    last_error = exc
+            pending = not_done
+        if submit_error is not None:
+            failed.update(outstanding - set(ends))
+            last_error = submit_error
+        if not failed:
+            return ends
+        crashed = submit_error is not None or _pool_is_broken() or any(
+            isinstance(last_error, exc_type)
+            for exc_type in (BrokenProcessPool, FuturesCancelledError)
+        )
+        if hung or crashed:
+            _kill_pool()
+            stats.pool_restarts += 1
+        attempt += 1
+        if attempt > policy.max_attempts:
+            raise RetryExhaustedError(
+                f"parallel scan failed on all {policy.max_attempts} "
+                f"attempts; last error: {last_error!r}"
+            )
+        stats.retries += 1
+        interruptible_sleep(policy.backoff_s(attempt))
+
+
+def _serial_scan(
+    probabilities: np.ndarray,
+    xtuple_indices: np.ndarray,
+    num_xtuples: int,
+    k: int,
+    blocks: Tuple[_Block, ...],
+    prefixes: List[np.ndarray],
+    faults: Optional["FaultPlan"],
+) -> Tuple[np.ndarray, np.ndarray, List[int]]:
+    """The in-process sharded scan (bit-identical to the pooled pass)."""
+    live_rows = blocks[-1].stop
+    rho_full = np.zeros((live_rows, k), dtype=np.float64)
+    topk_full = np.zeros(live_rows, dtype=np.float64)
+    ends: List[int] = []
+    for b, block in enumerate(blocks):
+        if faults is not None:
+            directive = faults.draw("serial", b)
+            if directive is not None:
+                raise FaultInjectedError(
+                    f"injected in-process scan failure at block {b}"
+                )
+        ends.append(
+            _scan_block(
+                probabilities,
+                xtuple_indices,
+                num_xtuples,
+                k,
+                block.start,
+                block.stop,
+                block.shift,
+                block.open_items,
+                prefixes[b],
+                rho_full,
+                topk_full,
+            )
+        )
+    return rho_full[: ends[-1]], topk_full[: ends[-1]], ends
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -571,19 +970,44 @@ def compute_rank_probabilities_parallel(
     serial backends produce (within 1e-9 on every entry), with
     checkpoints at block boundaries -- so the delta engine replays at
     most one block -- and a ``parallel_info`` dict describing how the
-    run executed: ``{"workers", "blocks", "mode", "fallback"}`` where
-    ``mode`` is ``"pool"`` or ``"serial"`` and ``fallback`` names the
-    reason a pool was not used (``None`` when it was).
+    run executed: ``{"workers", "blocks", "mode", "fallback",
+    "retries", "pool_restarts", "degraded"}`` where ``mode`` is
+    ``"pool"``, ``"serial"`` or ``"numpy"``, ``fallback`` names the
+    *benign* reason a pool was not attempted (``None`` when it was),
+    and ``degraded`` names the tier a failing pooled run fell back to
+    (``"serial"`` after retry exhaustion, ``"numpy"`` when the
+    in-process shards failed too, ``None`` on the happy path).
+
+    Failure paths never leak shared memory: the output buffers are
+    destroyed in ``finally`` and the cached input columns are unlinked
+    before any exception (including ``KeyboardInterrupt``) propagates.
     """
     from repro.queries.deterministic import require_valid_k
     from repro.queries.psr import RankProbabilities, ScanCheckpoint
+    from repro.testing.faults import active_faults
 
     require_valid_k(k)
+    check_deadline("before the parallel PSR pass")
     probabilities, xtuple_indices = ranked.psr_columns()
-    n = int(probabilities.shape[0])
     m = ranked.num_xtuples
     plan = _plan_blocks(probabilities, xtuple_indices, m, k, _block_rows())
     requested = resolve_workers(workers)
+    policy = resolve_retry_policy()
+    faults = active_faults()
+    stats = _SupervisionStats()
+
+    def _info(
+        used: int, mode: str, degraded: Optional[str], fallback: Optional[str]
+    ) -> Dict[str, object]:
+        return {
+            "workers": used,
+            "blocks": len(plan.blocks),
+            "mode": mode,
+            "fallback": fallback,
+            "retries": stats.retries,
+            "pool_restarts": stats.pool_restarts,
+            "degraded": degraded,
+        }
 
     if not plan.blocks:
         result = RankProbabilities(
@@ -595,9 +1019,7 @@ def compute_rank_probabilities_parallel(
             backend="parallel",
             checkpoints=[],
         )
-        result.parallel_info = {
-            "workers": 1, "blocks": 0, "mode": "serial", "fallback": "empty",
-        }
+        result.parallel_info = _info(1, "serial", None, "empty")
         return result
 
     fallback: Optional[str] = None
@@ -606,91 +1028,104 @@ def compute_rank_probabilities_parallel(
     elif len(plan.blocks) == 1:
         fallback = "single live block"
 
-    pool: Optional[ProcessPoolExecutor] = None
+    pool_ok = fallback is None
     columns: Optional[SharedColumns] = None
-    if fallback is None:
+    if pool_ok:
         try:
             columns = shared_columns(ranked)
         except (OSError, ValueError, RuntimeError) as exc:
             fallback = f"shared memory unavailable: {exc}"
-    if fallback is None:
+            pool_ok = False
+    if pool_ok:
         try:
-            pool = _get_pool(requested)
+            _get_pool(requested)
         except (OSError, ValueError, RuntimeError) as exc:
             fallback = f"pool unavailable: {exc}"
+            pool_ok = False
 
     blocks = plan.blocks
     live_rows = blocks[-1].stop
+    degraded: Optional[str] = None
+    mode = "serial"
+    used = 1
 
-    # Pass 1 + prefix combine: the entry closed_dp of every block.  The
-    # final block's own factor is never consumed, so it is not computed.
-    interior = [block.close_masses for block in blocks[:-1]]
-    factors: List[np.ndarray]
-    if pool is not None and interior:
-        spans = _chunk(len(interior), _pool_size)
-        futures = [
-            pool.submit(_block_factors_task, k, interior[lo:hi])
-            for lo, hi in spans
-        ]
-        factors = [f for future in futures for f in future.result()]
-    else:
-        factors = _block_factors_task(k, interior)
-    prefixes = prefix_factor_products(factors, k)
+    rho: Optional[np.ndarray] = None
+    topk: Optional[np.ndarray] = None
+    ends: List[int] = []
+    try:
+        # Pass 1 + prefix combine: the entry closed_dp of every block.
+        # The final block's own factor is never consumed, so it is not
+        # computed.
+        interior = [block.close_masses for block in blocks[:-1]]
+        factors: List[np.ndarray]
+        if pool_ok and interior:
+            factors = _supervised_factors(
+                requested, interior, k, policy, stats
+            )
+        else:
+            factors = _block_factors_task(k, interior)
+        prefixes = prefix_factor_products(factors, k)
 
-    # Pass 2: scan every live block against its boundary state.
-    ends: List[int]
-    if pool is not None and columns is not None:
-        out_rho = _Segment(np.zeros((live_rows, k), dtype=np.float64))
-        out_topk = _Segment(np.zeros(live_rows, dtype=np.float64))
-        try:
-            task_futures: List["Future[int]"] = [
-                pool.submit(
-                    _scan_block_task,
-                    columns.specs(),
-                    out_rho.spec,
-                    out_topk.spec,
+        # Pass 2: scan every live block against its boundary state,
+        # degrading pool -> in-process shards -> NumPy kernel.
+        if pool_ok and columns is not None:
+            out_rho = _Segment(np.zeros((live_rows, k), dtype=np.float64))
+            out_topk = _Segment(np.zeros(live_rows, dtype=np.float64))
+            try:
+                ends_by_block = _supervised_scan(
+                    requested,
+                    blocks,
+                    prefixes,
+                    columns,
+                    out_rho,
+                    out_topk,
                     m,
                     k,
-                    block.start,
-                    block.stop,
-                    block.shift,
-                    block.open_items,
-                    prefixes[b],
+                    policy,
+                    faults,
+                    stats,
                 )
-                for b, block in enumerate(blocks)
-            ]
-            ends = [future.result() for future in task_futures]
-            rho = np.array(out_rho.array()[: ends[-1]])
-            topk = np.array(out_topk.array()[: ends[-1]])
-        finally:
-            out_rho.destroy()
-            out_topk.destroy()
-        mode = "pool"
-        used = _pool_size
-    else:
-        rho_full = np.zeros((live_rows, k), dtype=np.float64)
-        topk_full = np.zeros(live_rows, dtype=np.float64)
-        ends = [
-            _scan_block(
-                probabilities,
-                xtuple_indices,
-                m,
-                k,
-                block.start,
-                block.stop,
-                block.shift,
-                block.open_items,
-                prefixes[b],
-                rho_full,
-                topk_full,
-            )
-            for b, block in enumerate(blocks)
-        ]
-        rho = rho_full[: ends[-1]]
-        topk = topk_full[: ends[-1]]
-        mode = "serial"
-        used = 1
+                ends = [ends_by_block[b] for b in range(len(blocks))]
+                rho = np.array(out_rho.array()[: ends[-1]])
+                topk = np.array(out_topk.array()[: ends[-1]])
+                mode = "pool"
+                used = _pool_size
+            except RetryExhaustedError:
+                degraded = "serial"
+            finally:
+                out_rho.destroy()
+                out_topk.destroy()
+        if rho is None or topk is None:
+            try:
+                rho, topk, ends = _serial_scan(
+                    probabilities, xtuple_indices, m, k, blocks, prefixes,
+                    faults,
+                )
+            except DeadlineExceededError:
+                raise
+            except Exception:
+                degraded = "numpy"
+    except BaseException:
+        # An exception mid-scan (worker supervision gave up entirely,
+        # a planner bug, KeyboardInterrupt, ...) must not strand this
+        # view's column segments on /dev/shm until garbage collection
+        # happens to run; the next successful run republishes them.
+        if columns is not None:
+            release_columns_for(ranked)
+        raise
 
+    if degraded == "numpy":
+        # Last tier: the plain single-core kernel, sharing nothing with
+        # the sharded code paths that just failed.  1e-9-identical to
+        # the sharded output (the backends are cross-validated), with
+        # its own interval checkpoints for delta replay.
+        from repro.queries.psr import compute_rank_probabilities
+
+        result = compute_rank_probabilities(ranked, k, backend="numpy")
+        result.parallel_info = _info(1, "numpy", "numpy", fallback)
+        return result
+
+    assert rho is not None and topk is not None
     # Only the final live block may hit Lemma 2's early stop: every
     # earlier boundary's shift was checked below k by the planner.
     for block, end in zip(blocks[:-1], ends[:-1]):
@@ -720,10 +1155,5 @@ def compute_rank_probabilities_parallel(
         backend="parallel",
         checkpoints=checkpoints,
     )
-    result.parallel_info = {
-        "workers": used,
-        "blocks": len(blocks),
-        "mode": mode,
-        "fallback": fallback,
-    }
+    result.parallel_info = _info(used, mode, degraded, fallback)
     return result

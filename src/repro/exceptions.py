@@ -63,3 +63,55 @@ class UnknownXTupleError(InvalidCleaningProblemError):
 class UnknownSnapshotError(ReproError):
     """A snapshot id was not registered with the
     :class:`~repro.api.pool.SessionPool` being addressed."""
+
+
+class ResilienceError(ReproError):
+    """Base class for the serving-resilience errors.
+
+    These are *operational* failures -- the request was well-formed but
+    could not (or should not) be completed -- as opposed to the
+    validation errors above.  They serialize through the CLI's JSON
+    error envelope so clients see a typed error, never a traceback.
+    """
+
+
+class DeadlineExceededError(ResilienceError):
+    """A request's ``deadline_ms`` budget ran out.
+
+    Raised at admission when the deadline has already passed (the
+    request is shed before consuming any PSR work), after queueing for
+    a session lease, and at every supervision wait inside the parallel
+    backend -- so a doomed request stops burning pool capacity the
+    moment its budget is gone.
+    """
+
+
+class ServiceOverloadedError(ResilienceError):
+    """The pool's admission gate shed this request.
+
+    Raised by :meth:`repro.api.pool.SessionPool.lease` when
+    ``max_in_flight`` requests are already being served and none
+    finished within the bounded admission wait.  Clients should back
+    off and retry; the server sheds instead of queueing unboundedly.
+    """
+
+
+class RetryExhaustedError(ResilienceError):
+    """A supervised operation failed on every allowed attempt.
+
+    Internal to the parallel backend's worker supervision: exhaustion
+    normally *degrades* (pool -> in-process shards -> NumPy kernel)
+    rather than surfacing, so callers only see this when every
+    degradation tier failed too.
+    """
+
+
+class FaultInjectedError(ResilienceError):
+    """An injected fault from :mod:`repro.testing.faults` fired.
+
+    Only ever raised when a :class:`~repro.testing.faults.FaultPlan`
+    is active; production code paths never construct one.  Lives in
+    the shared taxonomy because worker processes must be able to
+    unpickle it without importing the testing package's machinery.
+    """
+

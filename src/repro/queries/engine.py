@@ -157,6 +157,13 @@ class QuerySession:
         #: serial path -- zero under the serial backends.
         self.psr_parallel_passes = 0
         self.psr_parallel_fallbacks = 0
+        #: Resilience counters of the parallel backend: supervised
+        #: retries, worker-pool rebuilds, and passes that degraded past
+        #: the pool (to the in-process shards or the NumPy kernel)
+        #: after retry exhaustion -- all zero on a healthy run.
+        self.psr_retries = 0
+        self.psr_pool_restarts = 0
+        self.psr_degraded = 0
 
     @property
     def db(self) -> ProbabilisticDatabase:
@@ -171,6 +178,9 @@ class QuerySession:
         self.psr_prefills = parent.psr_prefills
         self.psr_parallel_passes = parent.psr_parallel_passes
         self.psr_parallel_fallbacks = parent.psr_parallel_fallbacks
+        self.psr_retries = parent.psr_retries
+        self.psr_pool_restarts = parent.psr_pool_restarts
+        self.psr_degraded = parent.psr_degraded
 
     def derive(
         self,
@@ -282,6 +292,10 @@ class QuerySession:
             self.psr_parallel_passes += 1
             if info.get("fallback") is not None:
                 self.psr_parallel_fallbacks += 1
+            self.psr_retries += int(info.get("retries", 0))
+            self.psr_pool_restarts += int(info.get("pool_restarts", 0))
+            if info.get("degraded") is not None:
+                self.psr_degraded += 1
         self._rank_probabilities[k] = computed
         return computed
 

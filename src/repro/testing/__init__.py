@@ -1,0 +1,25 @@
+"""Deterministic test harnesses for the ``repro`` library.
+
+Currently one module: :mod:`repro.testing.faults`, the seeded
+fault-injection harness the resilience suite (and the ``fault-smoke``
+CI job) uses to exercise every recovery path of the parallel backend
+reproducibly.
+"""
+
+from repro.testing.faults import (
+    FaultEvent,
+    FaultPlan,
+    active_faults,
+    clear_faults,
+    install_faults,
+    use_faults,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "active_faults",
+    "clear_faults",
+    "install_faults",
+    "use_faults",
+]

@@ -1,0 +1,310 @@
+"""Deterministic fault injection for the parallel backend.
+
+The resilience guarantees of :mod:`repro.core.parallel` -- crashed
+workers are retried, hung workers are timed out and their pool rebuilt,
+shm-attach failures are retried, exhausted retries degrade to the
+in-process shards and then the NumPy kernel -- are only worth anything
+if CI can exercise each path on demand.  Real crashes are not
+schedulable, so this module fakes them *deterministically*:
+
+* A :class:`FaultPlan` is a list of :class:`FaultEvent` triggers, each
+  naming a fault ``kind``, the shard (block submission index) it fires
+  on, and how many ``times`` it fires before disarming.
+* The **coordinator** consumes the plan: before submitting block ``b``
+  it calls :meth:`FaultPlan.draw`, and the directive (a plain dict)
+  rides inside the task payload.  The injection *decision* therefore
+  never depends on worker scheduling -- the same plan against the same
+  input replays the same faults, attempt by attempt.
+* The **worker** merely executes the directive it was handed
+  (:func:`execute_worker_fault`): die by SIGKILL, sleep past the
+  supervisor's progress timeout, run slow, or raise
+  :class:`~repro.exceptions.FaultInjectedError` in place of the shm
+  attach.
+
+Fault kinds (and the recovery path each exercises):
+
+``kill``
+    The worker SIGKILLs itself -- ``BrokenProcessPool``; supervisor
+    rebuilds the pool and retries the batch.
+``hang``
+    The worker sleeps past the progress timeout -- supervisor declares
+    a hang, kills and rebuilds the pool, retries.
+``slow``
+    The worker sleeps ``delay_ms`` then completes normally -- exercises
+    timeout headroom without failing anything.
+``attach``
+    The worker raises in place of mapping the shared-memory columns --
+    a retryable task error with the pool still healthy.
+``serial``
+    The **in-process** sharded scan raises -- forces the final
+    degradation tier (NumPy kernel).
+
+Activation: programmatically via :func:`install_faults` /
+:func:`use_faults`, or from the environment via ``REPRO_FAULTS`` (a
+JSON :meth:`FaultPlan.to_dict` encoding), which is how CI smoke jobs
+switch plans on without touching test code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import FaultInjectedError, InvalidSpecError
+
+#: Recognized fault kinds (see the module docstring for semantics).
+FAULT_KINDS = ("kill", "hang", "slow", "attach", "serial")
+
+#: Kinds that fire at the pooled-task injection point.
+TASK_KINDS = ("kill", "hang", "slow", "attach")
+
+#: Default sleep of a ``hang`` directive.  Bounded (not infinite) so a
+#: supervision bug leaves a worker that eventually exits instead of a
+#: process wedged until the host reaps it; far above any sane progress
+#: timeout, so the supervisor always fires first.
+HANG_SLEEP_MS = 60_000.0
+
+#: Default sleep of a ``slow`` directive.
+SLOW_SLEEP_MS = 25.0
+
+
+@dataclass
+class FaultEvent:
+    """One armed fault: ``kind`` at ``block``, up to ``times`` firings.
+
+    ``block`` is the shard's submission index (``None`` matches any
+    shard -- the first draw wins).  ``times`` is the remaining-firing
+    budget; each :meth:`FaultPlan.draw` match decrements it, so a
+    ``times=1`` kill fails the first attempt and lets the retry
+    succeed.  ``delay_ms`` parameterizes ``hang`` / ``slow``.
+    """
+
+    kind: str
+    block: Optional[int] = None
+    times: int = 1
+    delay_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise InvalidSpecError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.block is not None and (
+            not isinstance(self.block, int)
+            or isinstance(self.block, bool)
+            or self.block < 0
+        ):
+            raise InvalidSpecError(
+                f"fault block must be a non-negative integer or None, "
+                f"got {self.block!r}"
+            )
+        if not isinstance(self.times, int) or isinstance(self.times, bool) \
+                or self.times < 1:
+            raise InvalidSpecError(
+                f"fault times must be a positive integer, got {self.times!r}"
+            )
+        if self.delay_ms is not None and (
+            not isinstance(self.delay_ms, (int, float))
+            or isinstance(self.delay_ms, bool)
+            or not self.delay_ms > 0
+        ):
+            raise InvalidSpecError(
+                f"fault delay_ms must be a positive number or None, "
+                f"got {self.delay_ms!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-serializable encoding."""
+        return {
+            "kind": self.kind,
+            "block": self.block,
+            "times": self.times,
+            "delay_ms": self.delay_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultEvent":
+        if not isinstance(payload, Mapping):
+            raise InvalidSpecError(
+                f"fault event must be a mapping, got {payload!r}"
+            )
+        unknown = sorted(set(payload) - {"kind", "block", "times", "delay_ms"})
+        if unknown:
+            raise InvalidSpecError(f"unknown fault-event fields {unknown!r}")
+        try:
+            kind = payload["kind"]
+        except KeyError:
+            raise InvalidSpecError(
+                f"fault event lacks a 'kind': {dict(payload)!r}"
+            ) from None
+        return cls(
+            kind=kind,
+            block=payload.get("block"),
+            times=payload.get("times", 1),
+            delay_ms=payload.get("delay_ms"),
+        )
+
+
+class FaultPlan:
+    """A seeded, consumable schedule of faults for one (or more) runs.
+
+    The plan is mutable on purpose -- each :meth:`draw` burns budget --
+    so a fresh plan per test gives a fresh schedule.  ``drawn`` records
+    every directive issued (``(point, block, directive)``), letting
+    tests assert the fault actually fired rather than silently testing
+    the happy path.
+    """
+
+    def __init__(self, events: Sequence[FaultEvent]) -> None:
+        self.events: List[FaultEvent] = [
+            FaultEvent(
+                kind=e.kind, block=e.block, times=e.times, delay_ms=e.delay_ms
+            )
+            for e in events
+        ]
+        self.drawn: List[Tuple[str, int, Dict[str, Any]]] = []
+
+    # -- wire form -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-serializable encoding (``REPRO_FAULTS`` format)."""
+        return {"events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        if not isinstance(payload, Mapping):
+            raise InvalidSpecError(
+                f"fault plan must be a mapping, got {payload!r}"
+            )
+        events = payload.get("events")
+        if not isinstance(events, (list, tuple)):
+            raise InvalidSpecError(
+                f"fault plan needs an 'events' list, got {events!r}"
+            )
+        return cls([FaultEvent.from_dict(e) for e in events])
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise InvalidSpecError(f"fault plan is not valid JSON: {exc}") from None
+        return cls.from_dict(payload)
+
+    # -- consumption ---------------------------------------------------
+    def draw(self, point: str, block: int) -> Optional[Dict[str, Any]]:
+        """The directive (if any) armed for this injection point.
+
+        ``point`` is ``"task"`` (a pooled shard submission) or
+        ``"serial"`` (an in-process shard scan); ``block`` the shard's
+        submission index.  The first matching event with budget left
+        fires and is decremented.  Returns a picklable directive dict
+        for the worker, or ``None``.
+        """
+        for event in self.events:
+            if event.times < 1:
+                continue
+            if point == "serial" and event.kind != "serial":
+                continue
+            if point == "task" and event.kind not in TASK_KINDS:
+                continue
+            if event.block is not None and event.block != block:
+                continue
+            event.times -= 1
+            directive: Dict[str, Any] = {"kind": event.kind}
+            if event.delay_ms is not None:
+                directive["delay_ms"] = event.delay_ms
+            self.drawn.append((point, block, directive))
+            return directive
+        return None
+
+    def fired(self, kind: Optional[str] = None) -> int:
+        """How many directives were issued (optionally of one kind)."""
+        if kind is None:
+            return len(self.drawn)
+        return sum(1 for _, _, d in self.drawn if d["kind"] == kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultPlan: {self.events!r}, {len(self.drawn)} drawn>"
+
+
+# ---------------------------------------------------------------------------
+# Activation (coordinator side)
+# ---------------------------------------------------------------------------
+
+_installed: Optional[FaultPlan] = None
+
+
+def install_faults(plan: Optional[FaultPlan]) -> None:
+    """Install (or with ``None`` clear) the process-wide fault plan."""
+    global _installed
+    _installed = plan
+
+
+def clear_faults() -> None:
+    """Disarm fault injection."""
+    install_faults(None)
+
+
+@contextmanager
+def use_faults(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Scoped fault plan: armed inside the ``with``, restored after."""
+    global _installed
+    previous = _installed
+    _installed = plan
+    try:
+        yield plan
+    finally:
+        _installed = previous
+
+
+def active_faults() -> Optional[FaultPlan]:
+    """The armed fault plan: the installed one, else ``REPRO_FAULTS``.
+
+    The environment plan is parsed **once** and installed, so its
+    ``times`` budgets persist across runs within the process -- an env
+    plan with ``times=1`` faults exactly one run, the same contract as
+    a programmatic plan.
+    """
+    global _installed
+    if _installed is not None:
+        return _installed
+    raw = os.environ.get("REPRO_FAULTS")
+    if raw:
+        _installed = FaultPlan.from_json(raw)
+        return _installed
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Execution (worker side)
+# ---------------------------------------------------------------------------
+
+
+def execute_worker_fault(directive: Mapping[str, Any]) -> None:
+    """Carry out a directive inside a worker process.
+
+    Runs before the worker touches shared memory, so a killed or
+    hung worker never holds a segment mapping.  ``slow`` returns and
+    lets the task proceed; the others never complete the task.
+    """
+    kind = directive.get("kind")
+    if kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind == "hang":
+        time.sleep(float(directive.get("delay_ms", HANG_SLEEP_MS)) / 1000.0)
+        raise FaultInjectedError(
+            "injected hang outlived its sleep without being reaped"
+        )
+    elif kind == "slow":
+        time.sleep(float(directive.get("delay_ms", SLOW_SLEEP_MS)) / 1000.0)
+    elif kind == "attach":
+        raise FaultInjectedError(
+            "injected shared-memory attach failure"
+        )
+    else:  # pragma: no cover - draw() only emits known kinds
+        raise FaultInjectedError(f"unknown fault directive {directive!r}")

@@ -17,6 +17,31 @@ from strategies import (  # noqa: F401 - re-exported for back-compat
 )
 
 
+@pytest.fixture(autouse=True)
+def no_leaked_shared_memory():
+    """Fail any test that strands a ``repro_*`` shared-memory segment.
+
+    The parallel backend tracks every segment it creates
+    (:func:`repro.core.parallel.live_segment_names`); segments owned by
+    the cached :class:`~repro.core.parallel.SharedColumns` of a live
+    ranked view are legitimate residents, everything else
+    (:func:`~repro.core.parallel.untracked_segment_names`) is a leak --
+    an output buffer or a half-published column set that survived an
+    error path.  Also disarms any fault plan a test left installed so
+    faults never bleed across tests.
+    """
+    import repro.core.parallel as parallel
+    from repro.testing import clear_faults
+
+    yield
+    clear_faults()
+    leaked = parallel.untracked_segment_names()
+    assert not leaked, (
+        f"leaked shared-memory segments: {sorted(leaked)} "
+        f"(an error path skipped its unlink)"
+    )
+
+
 def assert_payloads_close(got, expected, tol=1e-9, tie_tol=1e-12):
     """Recursive service-payload equality, tolerant to float rounding.
 

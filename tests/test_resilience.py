@@ -1,0 +1,713 @@
+"""Resilient-serving tests: supervision, degradation, deadlines, faults.
+
+Every recovery path of the parallel backend is exercised through the
+deterministic fault harness (:mod:`repro.testing.faults`): crashed
+workers, hung workers, shm-attach failures, retry exhaustion down the
+degradation ladder (pool -> in-process shards -> NumPy kernel).  Each
+recovered run must match the fault-free NumPy oracle within 1e-9, leak
+no shared-memory segments (the autouse conftest fixture enforces
+this), and surface the recovery in the ``psr_retries`` /
+``psr_pool_restarts`` / ``psr_degraded`` counters.
+
+Service-level: deadline shedding (an expired deadline consumes no PSR
+pass), the admission gate (``ServiceOverloadedError`` on saturation),
+spec round-trips for ``deadline_ms`` / ``retry_policy``, and the CLI's
+typed JSON error envelope.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.parallel as parallel
+from repro.api.pool import SessionPool
+from repro.api.service import TopKService
+from repro.api.specs import BatchSpec, QualitySpec, QuerySpec, spec_from_dict
+from repro.cli import main as cli_main
+from repro.core.resilience import (
+    Deadline,
+    RetryPolicy,
+    check_deadline,
+    current_deadline,
+    default_retry_policy,
+    interruptible_sleep,
+    resolve_retry_policy,
+    scoped,
+)
+from repro.datasets.synthetic import generate_synthetic
+from repro.db import io
+from repro.exceptions import (
+    DeadlineExceededError,
+    FaultInjectedError,
+    InvalidSpecError,
+    ReproError,
+    ResilienceError,
+    RetryExhaustedError,
+    ServiceOverloadedError,
+)
+from repro.queries.engine import QuerySession
+from repro.queries.psr import compute_rank_probabilities
+from repro.testing import FaultEvent, FaultPlan, active_faults, use_faults
+
+ABS = 1e-9
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _pool_teardown():
+    yield
+    parallel.shutdown_pool()
+
+
+@pytest.fixture()
+def fault_env(monkeypatch):
+    """Small blocks, two workers, a snappy progress timeout."""
+    monkeypatch.setenv("REPRO_BLOCK_ROWS", "16")
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    monkeypatch.setenv("REPRO_TASK_TIMEOUT_MS", "2000")
+    monkeypatch.setenv("REPRO_BACKOFF_MS", "1")
+
+
+@pytest.fixture(scope="module")
+def ranked_db():
+    return generate_synthetic(num_xtuples=120, seed=7).ranked()
+
+
+@pytest.fixture(scope="module")
+def oracle(ranked_db):
+    return compute_rank_probabilities(ranked_db, 10, backend="numpy")
+
+
+def _assert_matches(result, oracle):
+    assert result.cutoff == oracle.cutoff
+    assert result.rho_prefix == pytest.approx(oracle.rho_prefix, abs=ABS)
+    assert result.topk_prefix == pytest.approx(oracle.topk_prefix, abs=ABS)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy / Deadline primitives
+# ---------------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_defaults_and_round_trip(self):
+        policy = RetryPolicy(max_attempts=5, backoff_ms=10.0, jitter=0.25)
+        wire = json.loads(json.dumps(policy.to_dict()))
+        assert RetryPolicy.from_dict(wire) == policy
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"max_attempts": True},
+            {"backoff_ms": -1.0},
+            {"jitter": 1.5},
+            {"task_timeout_ms": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(InvalidSpecError):
+            RetryPolicy(**kwargs)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(InvalidSpecError):
+            RetryPolicy.from_dict({"max_attempts": 2, "nope": 1})
+
+    def test_backoff_deterministic_capped_exponential(self):
+        policy = RetryPolicy(backoff_ms=100.0, max_backoff_ms=250.0, jitter=0.0)
+        assert policy.backoff_s(1) == 0.0
+        assert policy.backoff_s(2) == pytest.approx(0.1)
+        assert policy.backoff_s(3) == pytest.approx(0.2)
+        assert policy.backoff_s(4) == pytest.approx(0.25)  # capped
+        jittered = RetryPolicy(backoff_ms=100.0, jitter=0.5)
+        # Seeded per attempt: the same attempt always sleeps the same.
+        assert jittered.backoff_s(3) == jittered.backoff_s(3)
+        assert 0.1 <= jittered.backoff_s(3) <= 0.2
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_ATTEMPTS", "7")
+        monkeypatch.setenv("REPRO_BACKOFF_MS", "3")
+        policy = default_retry_policy()
+        assert policy.max_attempts == 7
+        assert policy.backoff_ms == 3.0
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT_MS", "1500")
+        assert policy.resolved_task_timeout_s() == pytest.approx(1.5)
+
+    def test_resolution_order(self):
+        explicit = RetryPolicy(max_attempts=9)
+        scoped_policy = RetryPolicy(max_attempts=4)
+        with scoped(retry_policy=scoped_policy):
+            assert resolve_retry_policy() is scoped_policy
+            assert resolve_retry_policy(explicit) is explicit
+        assert resolve_retry_policy().max_attempts == 3
+
+
+class TestDeadline:
+    def test_scoped_check_and_restore(self):
+        assert current_deadline() is None
+        with scoped(deadline=Deadline.after_ms(60_000.0)):
+            assert current_deadline() is not None
+            check_deadline("mid-test")  # plenty of budget: no raise
+        assert current_deadline() is None
+
+    def test_expired_deadline_raises(self):
+        with scoped(deadline=Deadline.after_ms(1e-6)):
+            time.sleep(0.001)
+            with pytest.raises(DeadlineExceededError, match="mid-test"):
+                check_deadline("mid-test")
+
+    def test_interruptible_sleep_clamps_to_deadline(self):
+        with scoped(deadline=Deadline.after_ms(30.0)):
+            start = time.monotonic()
+            with pytest.raises(DeadlineExceededError):
+                interruptible_sleep(10.0)
+            assert time.monotonic() - start < 5.0
+
+    def test_nested_scopes_restore_outer(self):
+        outer = Deadline.after_ms(60_000.0)
+        with scoped(deadline=outer):
+            with scoped(deadline=Deadline.after_ms(30_000.0)):
+                assert current_deadline() is not outer
+            assert current_deadline() is outer
+
+
+# ---------------------------------------------------------------------------
+# The fault plan itself
+# ---------------------------------------------------------------------------
+class TestFaultPlan:
+    def test_draw_consumes_budget(self):
+        plan = FaultPlan([FaultEvent(kind="kill", times=2)])
+        assert plan.draw("task", 0) == {"kind": "kill"}
+        assert plan.draw("task", 5) == {"kind": "kill"}
+        assert plan.draw("task", 1) is None
+        assert plan.fired("kill") == 2
+
+    def test_block_scoping_and_points(self):
+        plan = FaultPlan(
+            [
+                FaultEvent(kind="attach", block=3),
+                FaultEvent(kind="serial", times=1),
+            ]
+        )
+        assert plan.draw("task", 0) is None  # wrong block
+        assert plan.draw("serial", 0) == {"kind": "serial"}
+        assert plan.draw("task", 3) == {"kind": "attach"}
+        assert plan.draw("task", 3) is None  # budget spent
+
+    def test_plan_copy_is_fresh(self):
+        event = FaultEvent(kind="kill", times=1)
+        plan_a, plan_b = FaultPlan([event]), FaultPlan([event])
+        assert plan_a.draw("task", 0) is not None
+        assert plan_b.draw("task", 0) is not None  # own budget
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [FaultEvent(kind="hang", block=2, times=3, delay_ms=50.0)]
+        )
+        clone = FaultPlan.from_json(json.dumps(plan.to_dict()))
+        assert [e.to_dict() for e in clone.events] == [
+            e.to_dict() for e in plan.events
+        ]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"kind": "meteor"},
+            {"kind": "kill", "times": 0},
+            {"kind": "kill", "block": -1},
+            {"kind": "hang", "delay_ms": 0},
+            {"kind": "kill", "surprise": 1},
+        ],
+    )
+    def test_event_validation(self, payload):
+        with pytest.raises(InvalidSpecError):
+            FaultEvent.from_dict(payload)
+
+    def test_env_activation(self, monkeypatch):
+        plan = FaultPlan([FaultEvent(kind="slow", times=1)])
+        monkeypatch.setenv("REPRO_FAULTS", json.dumps(plan.to_dict()))
+        armed = active_faults()
+        assert armed is not None
+        assert armed.events[0].kind == "slow"
+        # Parsed once: the same (budget-carrying) plan comes back.
+        assert active_faults() is armed
+
+
+# ---------------------------------------------------------------------------
+# Supervised recovery in the parallel backend
+# ---------------------------------------------------------------------------
+class TestFaultRecovery:
+    """Each injected fault recovers to a 1e-9-identical answer."""
+
+    def test_worker_crash_recovers(self, fault_env, ranked_db, oracle):
+        plan = FaultPlan([FaultEvent(kind="kill", times=1)])
+        with use_faults(plan):
+            result = parallel.compute_rank_probabilities_parallel(
+                ranked_db, 10
+            )
+        assert plan.fired("kill") == 1
+        info = result.parallel_info
+        assert info["mode"] == "pool"
+        assert info["degraded"] is None
+        assert info["retries"] >= 1
+        assert info["pool_restarts"] >= 1
+        _assert_matches(result, oracle)
+
+    def test_worker_hang_recovers(self, fault_env, ranked_db, oracle):
+        # Sleep far past the 2s progress timeout: the supervisor must
+        # declare a hang, kill the pool, and retry on a fresh one.
+        plan = FaultPlan(
+            [FaultEvent(kind="hang", times=1, delay_ms=60_000.0)]
+        )
+        with use_faults(plan):
+            result = parallel.compute_rank_probabilities_parallel(
+                ranked_db, 10
+            )
+        assert plan.fired("hang") == 1
+        info = result.parallel_info
+        assert info["degraded"] is None
+        assert info["retries"] >= 1
+        assert info["pool_restarts"] >= 1
+        _assert_matches(result, oracle)
+
+    def test_attach_failure_recovers_without_restart(
+        self, fault_env, ranked_db, oracle
+    ):
+        plan = FaultPlan([FaultEvent(kind="attach", times=1)])
+        with use_faults(plan):
+            result = parallel.compute_rank_probabilities_parallel(
+                ranked_db, 10
+            )
+        assert plan.fired("attach") == 1
+        info = result.parallel_info
+        assert info["degraded"] is None
+        assert info["retries"] >= 1
+        assert info["pool_restarts"] == 0  # the pool stayed healthy
+        _assert_matches(result, oracle)
+
+    def test_slow_worker_is_not_a_fault(self, fault_env, ranked_db, oracle):
+        plan = FaultPlan([FaultEvent(kind="slow", times=2, delay_ms=20.0)])
+        with use_faults(plan):
+            result = parallel.compute_rank_probabilities_parallel(
+                ranked_db, 10
+            )
+        info = result.parallel_info
+        assert info["mode"] == "pool"
+        assert info["retries"] == 0
+        assert info["pool_restarts"] == 0
+        _assert_matches(result, oracle)
+
+    def test_retry_exhaustion_degrades_to_serial(
+        self, fault_env, ranked_db, oracle
+    ):
+        plan = FaultPlan([FaultEvent(kind="attach", times=1000)])
+        with use_faults(plan):
+            result = parallel.compute_rank_probabilities_parallel(
+                ranked_db, 10
+            )
+        info = result.parallel_info
+        assert info["degraded"] == "serial"
+        assert info["mode"] == "serial"
+        assert info["retries"] >= 1
+        _assert_matches(result, oracle)
+
+    def test_serial_failure_degrades_to_numpy(
+        self, fault_env, ranked_db, oracle
+    ):
+        plan = FaultPlan(
+            [
+                FaultEvent(kind="attach", times=1000),
+                FaultEvent(kind="serial", times=1000),
+            ]
+        )
+        with use_faults(plan):
+            result = parallel.compute_rank_probabilities_parallel(
+                ranked_db, 10
+            )
+        info = result.parallel_info
+        assert info["degraded"] == "numpy"
+        assert info["mode"] == "numpy"
+        assert result.backend == "numpy"
+        _assert_matches(result, oracle)
+
+    def test_exhaustion_without_pool_raises_typed_error(
+        self, fault_env, ranked_db
+    ):
+        # The serial tier is the last sharded tier when the pool is
+        # benignly absent (workers=1 forces the serial path); a serial
+        # fault then escapes as the injected error, not a retry loop.
+        plan = FaultPlan([FaultEvent(kind="serial", times=1000)])
+        with use_faults(plan), parallel.use_workers(1):
+            result = parallel.compute_rank_probabilities_parallel(
+                ranked_db, 10
+            )
+        assert result.parallel_info["degraded"] == "numpy"
+
+    def test_session_counters_surface_recovery(self, fault_env, ranked_db):
+        session = QuerySession(ranked_db, backend="parallel")
+        plan = FaultPlan([FaultEvent(kind="kill", times=1)])
+        with use_faults(plan):
+            session.rank_probabilities(10)
+        assert session.psr_retries >= 1
+        assert session.psr_pool_restarts >= 1
+        assert session.psr_degraded == 0
+
+        degraded = QuerySession(ranked_db, backend="parallel")
+        with use_faults(FaultPlan([FaultEvent(kind="attach", times=1000)])):
+            degraded.rank_probabilities(10)
+        assert degraded.psr_degraded == 1
+
+    def test_counters_carry_across_derive(self, fault_env, ranked_db):
+        session = QuerySession(ranked_db, backend="parallel")
+        with use_faults(FaultPlan([FaultEvent(kind="kill", times=1)])):
+            session.rank_probabilities(10)
+        child = session.derive(generate_synthetic(num_xtuples=40, seed=1))
+        assert child.psr_retries == session.psr_retries
+        assert child.psr_pool_restarts == session.psr_pool_restarts
+
+
+class TestPoolSupervision:
+    def test_worker_killed_between_requests(self, fault_env, ranked_db, oracle):
+        """SIGKILLing a pooled worker must not poison the next request."""
+        result = parallel.compute_rank_probabilities_parallel(ranked_db, 10)
+        assert result.parallel_info["mode"] == "pool"
+        pool = parallel._pool
+        assert pool is not None
+        victim = next(iter(pool._processes.values()))
+        os.kill(victim.pid, signal.SIGKILL)
+        # Let the executor notice the dead worker (it marks itself
+        # broken on the next management-thread wakeup or submission).
+        deadline = time.monotonic() + 5.0
+        while not parallel._pool_is_broken() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        builds_before = parallel.pool_builds
+        again = parallel.compute_rank_probabilities_parallel(ranked_db, 10)
+        _assert_matches(again, oracle)
+        assert again.parallel_info["degraded"] is None
+        assert parallel.pool_builds > builds_before  # rebuilt, not reused
+
+    def test_fork_context_change_invalidates_pool(
+        self, fault_env, ranked_db, monkeypatch
+    ):
+        parallel.compute_rank_probabilities_parallel(ranked_db, 10)
+        first_method = parallel._pool_method
+        assert first_method is not None
+        import multiprocessing
+
+        available = multiprocessing.get_all_start_methods()
+        other = next((m for m in available if m != first_method), None)
+        if other is None:  # pragma: no cover - single-method host
+            pytest.skip("host offers only one start method")
+        builds_before = parallel.pool_builds
+        monkeypatch.setattr(
+            parallel,
+            "_pick_context",
+            lambda: multiprocessing.get_context(other),
+        )
+        result = parallel.compute_rank_probabilities_parallel(ranked_db, 10)
+        assert parallel.pool_builds == builds_before + 1
+        assert parallel._pool_method == other
+        assert result.parallel_info["mode"] == "pool"
+
+    def test_no_segments_leak_after_faulted_runs(self, fault_env, ranked_db):
+        with use_faults(FaultPlan([FaultEvent(kind="kill", times=3)])):
+            parallel.compute_rank_probabilities_parallel(ranked_db, 10)
+        assert parallel.untracked_segment_names() == set()
+
+    def test_release_columns_for_unlinks_eagerly(self, fault_env, ranked_db):
+        parallel.shared_columns(ranked_db)
+        assert parallel.live_segment_names()
+        parallel.release_columns_for(ranked_db)
+        assert parallel.untracked_segment_names() == set()
+
+
+# ---------------------------------------------------------------------------
+# Service-level resilience
+# ---------------------------------------------------------------------------
+class TestServiceDeadlines:
+    def test_expired_deadline_shed_without_psr_pass(self, small_synthetic):
+        service = TopKService(backend="python")
+        sid = service.register(small_synthetic).snapshot_id
+        with pytest.raises(DeadlineExceededError):
+            service.query(sid, QuerySpec(k=5, deadline_ms=1e-6))
+        # Shed at admission: no lease was taken, no session built, no
+        # PSR pass consumed.
+        assert service.pool.session_misses == 0
+        assert service.pool.session_hits == 0
+        assert service.pool.in_flight == 0
+
+    def test_generous_deadline_serves_normally(self, small_synthetic):
+        service = TopKService(backend="python")
+        sid = service.register(small_synthetic).snapshot_id
+        result = service.query(sid, QuerySpec(k=5, deadline_ms=60_000.0))
+        assert result.payload["ukranks"]["winners"]
+        assert result.counters["psr_retries"] == 0
+        assert result.counters["psr_degraded"] == 0
+
+    def test_deadline_does_not_leak_across_requests(self, small_synthetic):
+        service = TopKService(backend="python")
+        sid = service.register(small_synthetic).snapshot_id
+        with pytest.raises(DeadlineExceededError):
+            service.query(sid, QuerySpec(k=5, deadline_ms=1e-6))
+        # The next (deadline-free) request on the same thread is clean.
+        assert service.query(sid, QuerySpec(k=5)).payload["ukranks"]
+
+    def test_clean_respects_deadline(self, small_synthetic):
+        from repro.api.specs import CleaningSpec
+
+        service = TopKService(backend="python")
+        sid = service.register(small_synthetic).snapshot_id
+        with pytest.raises(DeadlineExceededError):
+            service.clean(
+                sid, CleaningSpec(k=5, budget=10, deadline_ms=1e-6)
+            )
+
+
+class TestAdmissionGate:
+    def test_saturated_pool_sheds(self, small_synthetic):
+        service = TopKService(
+            backend="python", max_in_flight=1, admission_timeout_ms=50.0
+        )
+        sid = service.register(small_synthetic).snapshot_id
+        entered = threading.Event()
+        release = threading.Event()
+        errors = []
+
+        def hog():
+            with service.pool.lease(sid):
+                entered.set()
+                release.wait(timeout=10.0)
+
+        holder = threading.Thread(target=hog)
+        holder.start()
+        try:
+            assert entered.wait(timeout=10.0)
+            with pytest.raises(ServiceOverloadedError):
+                service.query(sid, QuerySpec(k=5))
+            assert service.pool.shed_requests == 1
+        finally:
+            release.set()
+            holder.join(timeout=10.0)
+        # The slot frees up once the holder exits.
+        assert service.query(sid, QuerySpec(k=5)).payload["ukranks"]
+        assert not errors
+
+    def test_gate_validation(self):
+        with pytest.raises(ValueError):
+            SessionPool(max_in_flight=0)
+        with pytest.raises(ValueError):
+            SessionPool(admission_timeout_ms=-1.0)
+
+    def test_tight_deadline_bounds_admission_wait(self, small_synthetic):
+        service = TopKService(
+            backend="python", max_in_flight=1, admission_timeout_ms=30_000.0
+        )
+        sid = service.register(small_synthetic).snapshot_id
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hog():
+            with service.pool.lease(sid):
+                entered.set()
+                release.wait(timeout=10.0)
+
+        holder = threading.Thread(target=hog)
+        holder.start()
+        try:
+            assert entered.wait(timeout=10.0)
+            start = time.monotonic()
+            with pytest.raises(
+                (DeadlineExceededError, ServiceOverloadedError)
+            ):
+                service.query(sid, QuerySpec(k=5, deadline_ms=100.0))
+            # Bounded by the 100ms deadline, not the 30s admission wait.
+            assert time.monotonic() - start < 10.0
+        finally:
+            release.set()
+            holder.join(timeout=10.0)
+
+
+class TestResilienceSpecs:
+    def test_query_spec_round_trip(self):
+        spec = QuerySpec(
+            k=5,
+            deadline_ms=1500,
+            retry_policy=RetryPolicy(max_attempts=2, backoff_ms=5.0),
+        )
+        assert spec.deadline_ms == 1500.0
+        wire = json.loads(json.dumps(spec.to_dict()))
+        assert spec_from_dict(wire) == spec
+
+    def test_retry_policy_coerced_from_mapping(self):
+        spec = QuerySpec(k=5, retry_policy={"max_attempts": 2})
+        assert isinstance(spec.retry_policy, RetryPolicy)
+        assert spec.retry_policy.max_attempts == 2
+
+    @pytest.mark.parametrize("deadline_ms", [0, -5, float("nan"), "soon"])
+    def test_bad_deadline_rejected(self, deadline_ms):
+        with pytest.raises(InvalidSpecError):
+            QuerySpec(k=5, deadline_ms=deadline_ms)
+
+    def test_batch_forbids_per_item_resilience(self):
+        with pytest.raises(InvalidSpecError, match="deadline_ms"):
+            BatchSpec(items=(QuerySpec(k=5, deadline_ms=10.0),))
+        with pytest.raises(InvalidSpecError, match="retry_policy"):
+            BatchSpec(
+                items=(
+                    QualitySpec(k=5, retry_policy=RetryPolicy()),
+                )
+            )
+
+    def test_batch_level_settings_round_trip(self):
+        spec = BatchSpec(
+            items=(QuerySpec(k=5),),
+            deadline_ms=2000.0,
+            retry_policy=RetryPolicy(max_attempts=2),
+        )
+        wire = json.loads(json.dumps(spec.to_dict()))
+        assert spec_from_dict(wire) == spec
+
+    def test_error_taxonomy(self):
+        for exc in (
+            DeadlineExceededError,
+            ServiceOverloadedError,
+            RetryExhaustedError,
+            FaultInjectedError,
+        ):
+            assert issubclass(exc, ResilienceError)
+            assert issubclass(exc, ReproError)
+
+
+# ---------------------------------------------------------------------------
+# CLI error envelopes
+# ---------------------------------------------------------------------------
+class TestCliErrorEnvelope:
+    @pytest.fixture()
+    def db_file(self, tmp_path, small_synthetic):
+        path = tmp_path / "db.json"
+        io.save_json(small_synthetic, path)
+        return path
+
+    def test_deadline_error_serializes(self, tmp_path, db_file, capsys):
+        out = tmp_path / "out.json"
+        code = cli_main(
+            [
+                "query",
+                "--db",
+                str(db_file),
+                "-k",
+                "5",
+                "--deadline-ms",
+                "0.000001",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "DeadlineExceededError" in err
+        assert "Traceback" not in err
+        envelope = json.loads(out.read_text())
+        assert envelope["error"]["type"] == "DeadlineExceededError"
+        assert "deadline exceeded" in envelope["error"]["message"]
+
+    def test_spec_error_serializes(self, tmp_path, db_file, capsys):
+        out = tmp_path / "out.json"
+        code = cli_main(
+            [
+                "query",
+                "--db",
+                str(db_file),
+                "-k",
+                "5",
+                "--deadline-ms",
+                "-3",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 1
+        envelope = json.loads(out.read_text())
+        assert envelope["error"]["type"] == "InvalidSpecError"
+
+    def test_error_without_json_flag(self, db_file, capsys):
+        code = cli_main(
+            ["query", "--db", str(db_file), "--deadline-ms", "0.000001"]
+        )
+        assert code == 1
+        assert "DeadlineExceededError" in capsys.readouterr().err
+
+    def test_healthy_run_still_exits_zero(self, tmp_path, db_file):
+        out = tmp_path / "out.json"
+        code = cli_main(
+            [
+                "query",
+                "--db",
+                str(db_file),
+                "-k",
+                "5",
+                "--deadline-ms",
+                "60000",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        envelope = json.loads(out.read_text())
+        assert "error" not in envelope
+        assert envelope["result"]["spec"]["deadline_ms"] == 60000.0
+
+
+# ---------------------------------------------------------------------------
+# Property: faults never change answers, only availability
+# ---------------------------------------------------------------------------
+_fault_events = st.lists(
+    st.builds(
+        FaultEvent,
+        kind=st.sampled_from(["kill", "hang", "attach", "slow", "serial"]),
+        block=st.one_of(st.none(), st.integers(min_value=0, max_value=8)),
+        times=st.integers(min_value=1, max_value=4),
+        delay_ms=st.just(10.0),
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+class TestFaultTransparency:
+    @settings(max_examples=8, deadline=None)
+    @given(events=_fault_events)
+    def test_any_fault_plan_is_answer_transparent(self, events):
+        """A perturbed run matches the fault-free answer or fails typed.
+
+        ``hang`` events are pinned to a short sleep (10ms) so they
+        surface as task errors rather than real progress-timeout wairs;
+        the dedicated hang test covers the slow path once.
+        """
+        db = generate_synthetic(num_xtuples=60, seed=11)
+        ranked = db.ranked()
+        oracle = compute_rank_probabilities(ranked, 8, backend="numpy")
+        previous_rows = os.environ.get("REPRO_BLOCK_ROWS")
+        os.environ["REPRO_BLOCK_ROWS"] = "16"
+        os.environ["REPRO_BACKOFF_MS"] = "1"
+        try:
+            with use_faults(FaultPlan(events)), parallel.use_workers(2):
+                try:
+                    result = parallel.compute_rank_probabilities_parallel(
+                        ranked, 8
+                    )
+                except ResilienceError:
+                    return  # a typed refusal is an allowed outcome
+            _assert_matches(result, oracle)
+        finally:
+            if previous_rows is None:
+                del os.environ["REPRO_BLOCK_ROWS"]
+            else:
+                os.environ["REPRO_BLOCK_ROWS"] = previous_rows
+            os.environ.pop("REPRO_BACKOFF_MS", None)
+        assert parallel.untracked_segment_names() == set()
