@@ -1,0 +1,23 @@
+# Developer entry points.  `make check` is the one command that runs
+# every gate CI runs (repro-lint, ruff, mypy, tier-1 tests); the other
+# targets run individual gates.
+
+.PHONY: check lint ruff typecheck test bench
+
+check:
+	sh scripts/check.sh
+
+lint:
+	python -m repro.tooling.lint src
+
+ruff:
+	ruff check src tests benchmarks
+
+typecheck:
+	mypy --strict src/repro
+
+test:
+	python -m pytest -q
+
+bench:
+	python benchmarks/run_all.py --smoke

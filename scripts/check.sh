@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Single entry point for everything CI gates on: repro-lint, ruff,
+# mypy, and the tier-1 test suite.  `make check` calls this.
+#
+# repro-lint and pytest always run (they ship with the repo).  ruff
+# and mypy run when installed and are reported as SKIPPED otherwise,
+# so the script is useful both in CI (all tools present) and in a
+# minimal dev environment -- a skip is loud, never silent.
+set -u
+
+fail=0
+
+step() {
+    name=$1
+    shift
+    echo "==> $name"
+    if "$@"; then
+        echo "==> $name: ok"
+    else
+        echo "==> $name: FAILED"
+        fail=1
+    fi
+    echo
+}
+
+step "repro-lint" python -m repro.tooling.lint src
+
+if command -v ruff >/dev/null 2>&1; then
+    step "ruff" ruff check src tests benchmarks
+else
+    echo "==> ruff: SKIPPED (not installed; pip install -e '.[lint]')"
+    echo
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    step "mypy" mypy --strict src/repro
+else
+    echo "==> mypy: SKIPPED (not installed; pip install -e '.[typecheck]')"
+    echo
+fi
+
+step "pytest" python -m pytest -q
+
+if [ "$fail" -ne 0 ]; then
+    echo "check: FAILED"
+else
+    echo "check: all gates passed"
+fi
+exit "$fail"

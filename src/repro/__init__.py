@@ -32,6 +32,7 @@ Quickstart
 """
 
 import warnings
+from typing import Any, Set
 
 from repro import api, cleaning, core, datasets, db, queries
 from repro.api import (
@@ -115,10 +116,10 @@ _DEPRECATED_ENTRY_POINTS = {
     ),
 }
 
-_warned_entry_points = set()
+_warned_entry_points: Set[str] = set()
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> Any:
     """Deprecation shim for legacy top-level entry points.
 
     Serves the names in :data:`_DEPRECATED_ENTRY_POINTS` from their

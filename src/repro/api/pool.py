@@ -33,11 +33,17 @@ specs or results.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Union
 
+from repro.core.lockcheck import (
+    RANK_ADMISSION,
+    RANK_POOL_REGISTRY,
+    RANK_SNAPSHOT,
+    OrderedLock,
+    OrderedSemaphore,
+)
 from repro.core.resilience import current_deadline
 from repro.db.database import ProbabilisticDatabase, RankedDatabase
 from repro.db.ranking import RankingFunction, rankings_equivalent
@@ -121,10 +127,16 @@ class SessionPool:
         self.workers = workers
         self.max_in_flight = max_in_flight
         self.admission_timeout_ms = float(admission_timeout_ms)
-        self._admission = threading.BoundedSemaphore(max_in_flight)
-        self._lock = threading.Lock()
+        # The pool's locks declare their place in the serving stack's
+        # lock hierarchy (admission < snapshot < registry); under
+        # REPRO_DEBUG_LOCKS=1 any acquisition violating that order
+        # raises LockOrderError at the inversion site.
+        self._admission = OrderedSemaphore(
+            "session-pool.admission", RANK_ADMISSION, max_in_flight
+        )
+        self._lock = OrderedLock("session-pool.registry", RANK_POOL_REGISTRY)
         self._snapshots: Dict[str, RankedDatabase] = {}
-        self._snapshot_locks: Dict[str, threading.Lock] = {}
+        self._snapshot_locks: Dict[str, OrderedLock] = {}
         self._sessions: "OrderedDict[str, QuerySession]" = OrderedDict()
         #: Lease-level cache telemetry (guarded by the pool lock).
         self.session_hits = 0
@@ -170,7 +182,9 @@ class SessionPool:
                 if ranked is None:
                     ranked = raw.ranked(self.ranking)
                 self._snapshots[snapshot_id] = ranked
-                self._snapshot_locks[snapshot_id] = threading.Lock()
+                self._snapshot_locks[snapshot_id] = OrderedLock(
+                    f"snapshot.{snapshot_id}", RANK_SNAPSHOT
+                )
             elif not rankings_equivalent(stored.ranking, incoming):
                 raise ValueError(
                     f"snapshot {snapshot_id!r} is already registered under "

@@ -47,6 +47,7 @@ from repro.cleaning.model import (
     build_cleaning_problem,
 )
 from repro.cleaning.random_cleaners import RandPCleaner, RandUCleaner
+from repro.core.counters import SESSION_COUNTERS
 from repro.core.parallel import use_workers
 from repro.core.quality import compute_quality_detailed
 from repro.core.resilience import Deadline, check_deadline, scoped
@@ -62,20 +63,9 @@ _PLANNERS: Dict[str, type] = {
     "randu": RandUCleaner,
 }
 
-#: Session counters surfaced (as per-request deltas) in result envelopes.
-_SESSION_COUNTERS = (
-    "psr_hits",
-    "psr_misses",
-    "psr_patches",
-    "psr_prefills",
-    "cold_derives",
-    "delta_derives",
-    "psr_parallel_passes",
-    "psr_parallel_fallbacks",
-    "psr_retries",
-    "psr_pool_restarts",
-    "psr_degraded",
-)
+#: Session counters surfaced (as per-request deltas) in result
+#: envelopes -- the one registry in :mod:`repro.core.counters`.
+_SESSION_COUNTERS = SESSION_COUNTERS
 
 
 def _counters_of(session: QuerySession) -> Dict[str, int]:

@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.bench.harness import BenchScale, Table, time_call
 from repro.bench import workloads
+from repro.cleaning.base import Cleaner
 from repro.cleaning.dp import DPCleaner
 from repro.cleaning.greedy import GreedyCleaner
 from repro.cleaning.improvement import expected_improvement
@@ -70,7 +71,9 @@ def _dp_for_budget(budget: int) -> DPCleaner:
 
 
 def _mean_random_improvement(
-    planner_cls, problem: CleaningProblem, seeds: Sequence[int] = RANDOM_SEEDS
+    planner_cls: Callable[..., Cleaner],
+    problem: CleaningProblem,
+    seeds: Sequence[int] = RANDOM_SEEDS,
 ) -> float:
     return statistics.fmean(
         expected_improvement(problem, planner_cls(seed=s).plan(problem))
@@ -260,7 +263,7 @@ def fig5a(scale: BenchScale) -> Table:
 
 
 def _ptk_query_ms(ranked: RankedDatabase, k: int, repeats: int) -> float:
-    def run():
+    def run() -> None:
         rank_probs = compute_rank_probabilities(ranked, k)
         ptk.answer_from_rank_probabilities(rank_probs, 0.1)
 
@@ -315,7 +318,7 @@ def fig5c(scale: BenchScale) -> Table:
     )
 
     def timed(answer: Callable, k: int) -> float:
-        def run():
+        def run() -> None:
             rank_probs = compute_rank_probabilities(ranked, k)
             answer(rank_probs)
 
@@ -346,7 +349,7 @@ def fig5d(scale: BenchScale) -> Table:
 # Figure 6: cleaning effectiveness and efficiency
 # ----------------------------------------------------------------------
 def _improvement_rows(
-    table: Table, problem: CleaningProblem, first_column_value
+    table: Table, problem: CleaningProblem, first_column_value: object
 ) -> None:
     dp_plan = _dp_for_budget(problem.budget).plan(problem)
     table.add_row(

@@ -19,7 +19,7 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, List, Tuple
+from typing import Callable, List, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -122,7 +122,7 @@ class Table:
     rows: List[Tuple] = field(default_factory=list)
     notes: str = ""
 
-    def add_row(self, *values) -> None:
+    def add_row(self, *values: object) -> None:
         """Append one row (must match the column count)."""
         if len(values) != len(self.columns):
             raise ValueError(
@@ -136,7 +136,7 @@ class Table:
         return [row[index] for row in self.rows]
 
     @staticmethod
-    def _format_cell(value) -> str:
+    def _format_cell(value: object) -> str:
         if value is None:
             return "-"
         if isinstance(value, float):
@@ -166,7 +166,7 @@ class Table:
             lines.append(f"note: {self.notes}")
         return "\n".join(lines)
 
-    def save(self, directory) -> Path:
+    def save(self, directory: Union[str, Path]) -> Path:
         """Write the formatted table to ``directory/<experiment>.txt``."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)

@@ -62,7 +62,7 @@ import sys
 import threading
 import time
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.pool import SessionPool
 from repro.api.service import TopKService
@@ -78,8 +78,9 @@ from repro.datasets.synthetic import (
     generate_sc_probabilities,
     generate_synthetic,
 )
-from repro.db.database import ProbabilisticDatabase
-from repro.queries.engine import QuerySession
+from repro.db.database import ProbabilisticDatabase, RankedDatabase
+from repro.api.results import ServiceResult
+from repro.queries.engine import EvaluationReport, QuerySession
 from repro.queries.psr import compute_rank_probabilities
 
 #: Snapshot grid: total tuple counts and top-k parameters.
@@ -148,7 +149,7 @@ PARALLEL_K = 100
 PARALLEL_WORKER_COUNTS = (1, 2, 4, 8)
 
 
-def _snapshot_ranked(num_tuples: int):
+def _snapshot_ranked(num_tuples: int) -> RankedDatabase:
     db = generate_synthetic(
         num_xtuples=num_tuples // BARS,
         completion=COMPLETION,
@@ -158,8 +159,8 @@ def _snapshot_ranked(num_tuples: int):
 
 
 def psr_snapshot(
-    sizes=SNAPSHOT_SIZES,
-    ks=SNAPSHOT_KS,
+    sizes: Sequence[int] = SNAPSHOT_SIZES,
+    ks: Sequence[int] = SNAPSHOT_KS,
     repeats: int = 3,
     quick: bool = False,
 ) -> List[Dict]:
@@ -188,7 +189,7 @@ def psr_snapshot(
     return points
 
 
-def _parallel_ranked(num_tuples: int):
+def _parallel_ranked(num_tuples: int) -> RankedDatabase:
     """Paper-density synthetic workload for the scaling sweep.
 
     The default domain of :class:`~repro.datasets.synthetic.\
@@ -209,9 +210,9 @@ SyntheticConfig` is the paper's fixed ``(0, 10000)``; at 1M tuples
 
 
 def parallel_scaling_snapshot(
-    sizes=PARALLEL_SIZES,
+    sizes: Sequence[int] = PARALLEL_SIZES,
     k: int = PARALLEL_K,
-    worker_counts=PARALLEL_WORKER_COUNTS,
+    worker_counts: Sequence[int] = PARALLEL_WORKER_COUNTS,
     repeats: int = 2,
     block_rows: "int | None" = None,
 ) -> List[Dict]:
@@ -331,7 +332,7 @@ def query_session_snapshot(
     """Cold vs warm full evaluation through a QuerySession."""
     ranked = _snapshot_ranked(size)
 
-    def cold():
+    def cold() -> None:
         QuerySession(ranked).evaluate(k)
 
     cold_ms = time_call(cold, repeats=repeats, time_budget_s=30.0)
@@ -354,7 +355,12 @@ def query_session_snapshot(
     }
 
 
-def _replay_derive_phase(db, rounds_probes, k, seed_quality):
+def _replay_derive_phase(
+    db: ProbabilisticDatabase,
+    rounds_probes: Sequence[Sequence[Tuple[str, Optional[str], bool]]],
+    k: int,
+    seed_quality: Optional[float],
+) -> Tuple[List[float], List[float], float]:
     """Re-run each changed round's derive/re-evaluate phase both ways.
 
     ``rounds_probes`` is the per-round list of successful probe
@@ -427,7 +433,7 @@ def _replay_derive_phase(db, rounds_probes, k, seed_quality):
 
 
 def adaptive_cleaning_snapshot(
-    sizes=ADAPTIVE_SIZES,
+    sizes: Sequence[int] = ADAPTIVE_SIZES,
     k: int = ADAPTIVE_K,
     budget: int = ADAPTIVE_BUDGET,
     seed: int = PROBE_SEED,
@@ -531,7 +537,9 @@ def adaptive_cleaning_snapshot(
 
 
 def _batch_specs(
-    m: int, ks=BATCH_KS, num_tuples: "int | None" = None
+    m: int,
+    ks: Sequence[int] = BATCH_KS,
+    num_tuples: "int | None" = None,
 ) -> List[QuerySpec]:
     """``m`` mixed-``k`` query specs cycling over ``ks`` (capped at n)."""
     specs = []
@@ -557,12 +565,12 @@ def service_batch_snapshot(
     specs = _batch_specs(m, num_tuples=ranked.num_tuples)
     batch = BatchSpec(items=tuple(specs))
 
-    def run_batch():
+    def run_batch() -> ServiceResult:
         service = TopKService()
         sid = service.pool.register(ranked)
         return service.batch(sid, batch)
 
-    def run_independent():
+    def run_independent() -> List[EvaluationReport]:
         return [QuerySession(ranked).evaluate(s.k, s.threshold) for s in specs]
 
     batch_ms = time_call(run_batch, repeats=repeats, time_budget_s=30.0)
@@ -570,7 +578,12 @@ def service_batch_snapshot(
         run_independent, repeats=repeats, time_budget_s=60.0
     )
 
-    def check_members(got, expected, label, k):
+    def check_members(
+        got: Sequence[Tuple[str, float]],
+        expected: Sequence[Tuple[str, float]],
+        label: str,
+        k: int,
+    ) -> None:
         """Positional tid equality, except swapped equal-probability ties.
 
         The shared pass re-sums ``ρ`` rows in a different order than
@@ -654,7 +667,7 @@ def pool_contention_snapshot(
     with pool.lease(sid) as session:
         session.evaluate(k)  # warm
 
-    def one_op():
+    def one_op() -> None:
         with pool.lease(sid) as session:
             session.evaluate(k)
 
@@ -663,7 +676,7 @@ def pool_contention_snapshot(
         one_op()
     serial_s = time.perf_counter() - start
 
-    def worker(count: int):
+    def worker(count: int) -> None:
         for _ in range(count):
             one_op()
 
@@ -872,7 +885,9 @@ def perf_snapshot(quick: bool = False, smoke: bool = False) -> Dict:
     }
 
 
-def write_perf_snapshot(path, quick: bool = False, smoke: bool = False) -> Dict:
+def write_perf_snapshot(
+    path: Union[str, Path], quick: bool = False, smoke: bool = False
+) -> Dict:
     """Compute the snapshot and write it to ``path`` as JSON."""
     snapshot = perf_snapshot(quick=quick, smoke=smoke)
     Path(path).write_text(json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
@@ -903,7 +918,7 @@ def format_snapshot(snapshot: Dict) -> str:
         "# Adaptive cleaning (incremental delta engine vs cold derive)"
     )
 
-    def fmt(value, spec):
+    def fmt(value: Optional[float], spec: str) -> str:
         return format(value, spec) if value is not None else "-"
 
     for point in snapshot.get("adaptive_cleaning", []):

@@ -142,7 +142,9 @@ def _solve_python(
 
 
 def _reconstruct(
-    groups: Sequence[KnapsackGroup], choices, capacity: int
+    groups: Sequence[KnapsackGroup],
+    choices: Sequence[np.ndarray],
+    capacity: int,
 ) -> List[int]:
     counts = [0] * len(groups)
     remaining = capacity

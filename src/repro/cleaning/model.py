@@ -242,7 +242,9 @@ def build_cleaning_problem(
     ranked = quality.ranked
     m = ranked.num_xtuples
 
-    def as_array(source, label):
+    def as_array(
+        source: Union[Mapping[str, float], Iterable[float]], label: str
+    ) -> Tuple[float, ...]:
         if isinstance(source, Mapping):
             missing = [xid for xid in ranked.xtuple_ids if xid not in source]
             if missing:

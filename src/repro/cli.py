@@ -36,7 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.api.results import ServiceResult
 from repro.api.service import TopKService
@@ -46,10 +46,10 @@ from repro.exceptions import ReproError
 from repro.datasets.mov import generate_mov
 from repro.datasets.synthetic import generate_synthetic
 from repro.db import io
-from repro.db.ranking import by_sum_of_keys, by_value
+from repro.db.ranking import RankingFunction, by_sum_of_keys, by_value
 
 
-def _ranking_for(name: str):
+def _ranking_for(name: str) -> RankingFunction:
     if name == "value":
         return by_value()
     if name == "mov":
@@ -64,7 +64,7 @@ def _load_mapping(path: Optional[str]) -> Optional[Dict[str, Any]]:
         return json.load(f)
 
 
-def _service_for(db_path: str, ranking_name: str):
+def _service_for(db_path: str, ranking_name: str) -> Tuple[TopKService, str]:
     """A one-shot service with the database file registered."""
     service = TopKService(ranking=_ranking_for(ranking_name))
     snapshot_id = service.register(io.load_json(db_path)).snapshot_id
@@ -333,7 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code.
 
     Library errors -- validation failures, shed deadlines, an

@@ -1,0 +1,43 @@
+"""The single registry of session/operational counter names.
+
+Every cost / cache / resilience counter a
+:class:`~repro.queries.engine.QuerySession` accumulates -- and that the
+service façade surfaces as per-request deltas in
+:class:`~repro.api.results.ServiceResult` envelopes -- is declared
+here, once.  The static analyzer (:mod:`repro.tooling.lint`, rule
+REP007) rejects any ``psr_*`` attribute introduced elsewhere in the
+package that is not declared in this registry, so a new counter cannot
+ship half-wired (accumulated in the engine but invisible in result
+envelopes, or vice versa).
+
+To add a counter: declare it in :data:`SESSION_COUNTERS` (ordering is
+the envelope's reporting order), initialize it in
+``QuerySession.__init__``, carry it in ``QuerySession._adopt_counters``
+-- REP007 plus the engine's own tests keep the three spots in sync.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Cumulative counters of one :class:`~repro.queries.engine.QuerySession`,
+#: in envelope reporting order.  Cache behaviour first, kernel routing
+#: second, resilience last.
+SESSION_COUNTERS: Tuple[str, ...] = (
+    "psr_hits",
+    "psr_misses",
+    "psr_patches",
+    "psr_prefills",
+    "cold_derives",
+    "delta_derives",
+    "psr_parallel_passes",
+    "psr_parallel_fallbacks",
+    "psr_retries",
+    "psr_pool_restarts",
+    "psr_degraded",
+)
+
+#: Counter names with the ``psr_`` prefix REP007 polices.
+PSR_COUNTERS: Tuple[str, ...] = tuple(
+    name for name in SESSION_COUNTERS if name.startswith("psr_")
+)

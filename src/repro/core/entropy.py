@@ -9,7 +9,10 @@ bottoms out at ``-log2 N``.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable
+from typing import TYPE_CHECKING, Dict, Iterable
+
+if TYPE_CHECKING:  # entropy stays numpy-free at import time by design
+    import numpy as np
 
 #: Probabilities at or below this value contribute nothing to entropy
 #: terms; guards ``log2`` against zero and negative round-off.
@@ -27,7 +30,7 @@ def xlog2x(x: float) -> float:
     return x * math.log2(x)
 
 
-def xlog2x_array(values):
+def xlog2x_array(values: "np.ndarray") -> "np.ndarray":
     """Vectorized :func:`xlog2x` over a NumPy array (``Y(0) = 0``)."""
     import numpy as np
 

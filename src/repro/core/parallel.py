@@ -107,6 +107,7 @@ from typing import (
 
 import numpy as np
 
+from repro.core.lockcheck import RANK_WORKER_POOL, OrderedLock
 from repro.core.pwr import prefix_factor_products, truncated_factor_product
 from repro.core.resilience import (
     RetryPolicy,
@@ -409,6 +410,15 @@ _pool: Optional[ProcessPoolExecutor] = None
 _pool_size = 0
 _pool_method: Optional[str] = None
 
+#: Guards every transition of the module-level pool state above.  The
+#: SessionPool serves different snapshots from concurrent threads, and
+#: each lease may reach :func:`_get_pool`; without the lock two threads
+#: could interleave a teardown and a rebuild and strand a live
+#: executor (its workers leak until process exit).  Innermost rank of
+#: the serving stack's declared lock hierarchy -- it is only ever
+#: taken during kernel work, under a snapshot lock.
+_pool_lock = OrderedLock("parallel.worker-pool", RANK_WORKER_POOL)
+
 #: Pools ever (re)built in this process -- a cheap observability hook
 #: for tests asserting that supervision actually rebuilt the pool.
 pool_builds = 0
@@ -439,34 +449,33 @@ def _get_pool(workers: int) -> ProcessPoolExecutor:
     fork-context change (e.g. a test overriding :func:`_pick_context`)
     invalidates it, and a pool the executor marked broken (a worker
     SIGKILLed between requests) is torn down and rebuilt instead of
-    poisoning every future submission.
+    poisoning every future submission.  Serialized by ``_pool_lock`` so
+    concurrent leases cannot interleave a teardown with a rebuild;
+    submissions on the returned executor need no lock (the executor is
+    itself thread-safe).
     """
     global _pool, _pool_size, _pool_method, pool_builds
-    context = _pick_context()
-    method = context.get_start_method()
-    if (
-        _pool is not None
-        and _pool_size == workers
-        and _pool_method == method
-        and not _pool_is_broken()
-    ):
+    with _pool_lock:
+        context = _pick_context()
+        method = context.get_start_method()
+        if (
+            _pool is not None
+            and _pool_size == workers
+            and _pool_method == method
+            and not _pool_is_broken()
+        ):
+            return _pool
+        if _pool is not None:
+            _pool.shutdown(wait=not _pool_is_broken(), cancel_futures=True)
+        _pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        _pool_size = workers
+        _pool_method = method
+        pool_builds += 1
         return _pool
-    if _pool is not None:
-        _pool.shutdown(wait=not _pool_is_broken(), cancel_futures=True)
-    _pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
-    _pool_size = workers
-    _pool_method = method
-    pool_builds += 1
-    return _pool
 
 
-def _kill_pool() -> None:
-    """Forcibly tear the pool down, SIGKILLing its workers.
-
-    The supervisor's hang path: a worker stuck in a task never exits on
-    a polite ``shutdown``, so the processes are killed first and the
-    executor (now broken, which it tolerates) is discarded.
-    """
+def _kill_pool_locked() -> None:
+    """Tear the pool down by force; caller holds ``_pool_lock``."""
     global _pool, _pool_size, _pool_method
     if _pool is None:
         return
@@ -481,17 +490,29 @@ def _kill_pool() -> None:
     _pool_method = None
 
 
+def _kill_pool() -> None:
+    """Forcibly tear the pool down, SIGKILLing its workers.
+
+    The supervisor's hang path: a worker stuck in a task never exits on
+    a polite ``shutdown``, so the processes are killed first and the
+    executor (now broken, which it tolerates) is discarded.
+    """
+    with _pool_lock:
+        _kill_pool_locked()
+
+
 def shutdown_pool() -> None:
     """Tear down the worker pool (tests and ``atexit``)."""
     global _pool, _pool_size, _pool_method
-    if _pool is not None:
-        if _pool_is_broken():
-            _kill_pool()
-            return
-        _pool.shutdown(wait=True, cancel_futures=True)
-        _pool = None
-        _pool_size = 0
-        _pool_method = None
+    with _pool_lock:
+        if _pool is not None:
+            if _pool_is_broken():
+                _kill_pool_locked()
+                return
+            _pool.shutdown(wait=True, cancel_futures=True)
+            _pool = None
+            _pool_size = 0
+            _pool_method = None
 
 
 atexit.register(shutdown_pool)

@@ -8,12 +8,15 @@ algorithm-specific result object with all intermediates.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
-from repro.core.montecarlo import compute_quality_montecarlo
-from repro.core.pw import compute_quality_pw
-from repro.core.pwr import compute_quality_pwr
-from repro.core.tp import compute_quality_tp
+from repro.core.montecarlo import (
+    MonteCarloQualityResult,
+    compute_quality_montecarlo,
+)
+from repro.core.pw import PWQualityResult, compute_quality_pw
+from repro.core.pwr import PWRQualityResult, compute_quality_pwr
+from repro.core.tp import TPQualityResult, compute_quality_tp
 from repro.db.database import ProbabilisticDatabase, RankedDatabase
 from repro.db.ranking import RankingFunction
 
@@ -21,6 +24,15 @@ from repro.db.ranking import RankingFunction
 METHODS = ("tp", "pwr", "pw", "montecarlo")
 
 DatabaseLike = Union[ProbabilisticDatabase, RankedDatabase]
+
+#: What ``compute_quality_detailed`` returns: every algorithm's result
+#: object carries ``.quality``; everything else is method-specific.
+QualityResult = Union[
+    TPQualityResult,
+    PWRQualityResult,
+    PWQualityResult,
+    MonteCarloQualityResult,
+]
 
 
 def _as_ranked(
@@ -40,8 +52,8 @@ def compute_quality_detailed(
     k: int,
     method: str = "tp",
     ranking: Optional[RankingFunction] = None,
-    **kwargs,
-):
+    **kwargs: Any,
+) -> "QualityResult":
     """Compute the PWS-quality, returning the full result object.
 
     Parameters

@@ -198,7 +198,7 @@ class RetryPolicy:
         base = min(
             self.backoff_ms * (2.0 ** (attempt - 2)), self.max_backoff_ms
         )
-        if self.jitter == 0.0:
+        if self.jitter <= 0.0:
             return base / 1000.0
         rng = random.Random(attempt)
         scale = 1.0 - self.jitter * rng.random()

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.core.backend import resolve_backend
 from repro.core.weights import compute_weights, weight_of
-from repro.db.database import RankedDatabase
+from repro.db.database import RankDelta, RankedDatabase
 from repro.exceptions import InvalidQueryError
 from repro.queries.psr import RankProbabilities, compute_rank_probabilities
 
@@ -103,7 +103,7 @@ class TPQualityResult:
 def patch_quality_tp(
     old_quality: TPQualityResult,
     rank_probabilities: RankProbabilities,
-    delta,
+    delta: RankDelta,
     backend: Optional[str] = None,
 ) -> Optional[TPQualityResult]:
     """TP quality for a delta-patched view, from the old quality.

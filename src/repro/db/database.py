@@ -35,6 +35,7 @@ to re-evaluate only the rows whose inputs moved.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -358,7 +359,13 @@ class _OrderPatch:
 
     __slots__ = ("parent", "removed", "positions", "values")
 
-    def __init__(self, parent, removed, positions, values):
+    def __init__(
+        self,
+        parent: Union["_OrderPatch", List[ProbabilisticTuple]],
+        removed: np.ndarray,
+        positions: np.ndarray,
+        values: List[ProbabilisticTuple],
+    ) -> None:
         self.parent = parent
         self.removed = removed
         self.positions = positions
@@ -391,6 +398,18 @@ def _scan_saturates(probabilities: np.ndarray) -> bool:
     for e in probabilities:
         mass = min(1.0, mass + float(e))
     return mass >= 1.0 - SATURATION_EPSILON
+
+
+#: Attribute names of the ranked view's canonical columnar arrays.
+#: Every array listed here is write-protected at rest; mutation must go
+#: through :meth:`RankedDatabase.mutable_view`.
+CANONICAL_COLUMNS = (
+    "scores_array",
+    "insertion_array",
+    "xtuple_indices_array",
+    "probabilities_array",
+    "completion_array",
+)
 
 
 class RankedDatabase:
@@ -451,6 +470,7 @@ class RankedDatabase:
         self._xtuple_indices_list: Optional[List[int]] = None
         self._probabilities_list: Optional[List[float]] = None
         self._completion_list: Optional[List[float]] = None
+        self._freeze_columns()
 
     @classmethod
     def _patched(
@@ -483,7 +503,50 @@ class RankedDatabase:
         self._xtuple_indices_list = None
         self._probabilities_list = None
         self._completion_list = None
+        self._freeze_columns()
         return self
+
+    def _freeze_columns(self) -> None:
+        """Write-protect the canonical arrays (shared-state armor).
+
+        Sessions, the shm export and delta checkpoints all alias these
+        arrays, so a stray in-place write would silently corrupt every
+        cached result derived from the view.  With the flag cleared,
+        such a write raises ``ValueError: assignment destination is
+        read-only`` at the offending line instead.  Deliberate patching
+        goes through :meth:`mutable_view`.
+        """
+        for column in CANONICAL_COLUMNS:
+            getattr(self, column).setflags(write=False)
+
+    @contextmanager
+    def mutable_view(self, column: str) -> Iterator[np.ndarray]:
+        """Temporarily writable access to one canonical column.
+
+        The explicit escape hatch for code that *must* mutate a
+        canonical array in place (the delta engine's patch paths);
+        everything else reads the arrays or builds fresh ones.  The
+        column is re-frozen when the ``with`` block exits, error or
+        not::
+
+            with ranked.mutable_view("probabilities_array") as column:
+                column[rows] = new_masses
+
+        Mutating shared state invalidates any session cache built over
+        the view -- callers own that invalidation, which is why the
+        hatch is this loud.
+        """
+        if column not in CANONICAL_COLUMNS:
+            raise ValueError(
+                f"unknown canonical column {column!r}; "
+                f"expected one of {CANONICAL_COLUMNS}"
+            )
+        array: np.ndarray = getattr(self, column)
+        array.setflags(write=True)
+        try:
+            yield array
+        finally:
+            array.setflags(write=False)
 
     def psr_columns(self) -> Tuple[np.ndarray, np.ndarray]:
         """Zero-copy export of the PSR scan's input columns.
@@ -662,7 +725,7 @@ class RankedDatabase:
         survivor_mask = np.ones(b_old - w0, dtype=bool)
         survivor_mask[removed - w0] = False
 
-        def splice(arr, value):
+        def splice(arr: np.ndarray, value: Union[int, float]) -> np.ndarray:
             out = np.empty(n_new, dtype=arr.dtype)
             out[:w0] = arr[:w0]
             out[b_new:] = arr[b_old:]

@@ -115,3 +115,15 @@ class FaultInjectedError(ResilienceError):
     unpickle it without importing the testing package's machinery.
     """
 
+
+class LockOrderError(ReproError):
+    """A lock acquisition violated the declared lock hierarchy.
+
+    Only raised in debug mode (:mod:`repro.core.lockcheck`, enabled via
+    ``REPRO_DEBUG_LOCKS=1``): a thread tried to take a lock whose rank
+    is not strictly greater than every lock it already holds -- the
+    shape that deadlocks in production the day two such threads
+    interleave.  Production runs never pay the tracking cost and never
+    see this error.
+    """
+

@@ -44,9 +44,10 @@ across threads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.backend import resolve_backend
+from repro.core.counters import SESSION_COUNTERS
 from repro.core.tp import (
     SUPPORT_TOLERANCE,
     TPQualityResult,
@@ -57,6 +58,9 @@ from repro.core.tp import (
 from repro.exceptions import InvalidQueryError
 from repro.db.database import ProbabilisticDatabase, RankDelta, RankedDatabase
 from repro.db.ranking import RankingFunction
+
+if TYPE_CHECKING:  # deferred: repro.cleaning imports repro.queries
+    from repro.cleaning.model import CleaningProblem
 from repro.queries import global_topk, ptk, ukranks
 from repro.queries.answers import GlobalTopkAnswer, PTkAnswer, UkRanksAnswer
 from repro.queries.psr import (
@@ -170,17 +174,10 @@ class QuerySession:
         return self.ranked.db
 
     def _adopt_counters(self, parent: "QuerySession") -> None:
-        self.psr_hits = parent.psr_hits
-        self.psr_misses = parent.psr_misses
-        self.psr_patches = parent.psr_patches
-        self.cold_derives = parent.cold_derives
-        self.delta_derives = parent.delta_derives
-        self.psr_prefills = parent.psr_prefills
-        self.psr_parallel_passes = parent.psr_parallel_passes
-        self.psr_parallel_fallbacks = parent.psr_parallel_fallbacks
-        self.psr_retries = parent.psr_retries
-        self.psr_pool_restarts = parent.psr_pool_restarts
-        self.psr_degraded = parent.psr_degraded
+        # Driven by the registry so a counter added there (and in
+        # __init__) can never be silently dropped across a derive.
+        for name in SESSION_COUNTERS:
+            setattr(self, name, getattr(parent, name))
 
     def derive(
         self,
@@ -377,7 +374,13 @@ class QuerySession:
             quality=self.quality(k),
         )
 
-    def cleaning_problem(self, k, costs, sc_probabilities, budget):
+    def cleaning_problem(
+        self,
+        k: int,
+        costs: Union[Dict[str, int], Iterable[int]],
+        sc_probabilities: Union[Dict[str, float], Iterable[float]],
+        budget: int,
+    ) -> "CleaningProblem":
         """A :class:`~repro.cleaning.model.CleaningProblem` built on
         this session's cached quality at ``k``."""
         from repro.cleaning.model import build_cleaning_problem

@@ -58,7 +58,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Protocol, Tuple, Union
 
 import numpy as np
 
@@ -85,7 +85,7 @@ def _fast_forward(
     xtuple_indices: List[int],
     k: int,
     open_masses: Dict[int, float],
-    closed_dp,
+    closed_dp: List[float],
     shift: int,
     remaining: List[int],
     stop: int,
@@ -196,6 +196,17 @@ def _rebuild_without(
     return dp
 
 
+class _WindowRhoLike(Protocol):
+    """A deferred ρ window: anything that materializes to a matrix.
+
+    The numpy kernel's ``_WindowRho`` satisfies this without psr.py
+    importing :mod:`repro.queries.psr_numpy` (which imports this
+    module).
+    """
+
+    def materialize(self) -> np.ndarray: ...
+
+
 class _PendingRho:
     """A deferred splice of a ρ matrix after a rank delta.
 
@@ -211,7 +222,13 @@ class _PendingRho:
 
     __slots__ = ("parent", "prefix_end", "window", "tail")
 
-    def __init__(self, parent, prefix_end, window, tail):
+    def __init__(
+        self,
+        parent: Union[np.ndarray, "_PendingRho"],
+        prefix_end: int,
+        window: "Union[np.ndarray, _WindowRhoLike]",
+        tail: Optional[Tuple[int, int]],
+    ) -> None:
         self.parent = parent
         self.prefix_end = prefix_end
         self.window = window
@@ -253,7 +270,7 @@ class RankProbabilities:
         k: int,
         ranked: RankedDatabase,
         cutoff: int,
-        rho_prefix,
+        rho_prefix: Union[np.ndarray, _PendingRho],
         topk_prefix: np.ndarray,
         backend: str = "python",
         checkpoints: Optional[List[ScanCheckpoint]] = None,
@@ -416,7 +433,15 @@ class _PythonScanState:
 
     __slots__ = ("row", "shift", "open_masses", "closed_dp", "dp", "remaining")
 
-    def __init__(self, row, shift, open_masses, closed_dp, dp, remaining):
+    def __init__(
+        self,
+        row: int,
+        shift: int,
+        open_masses: Dict[int, float],
+        closed_dp: List[float],
+        dp: Optional[List[float]],
+        remaining: List[int],
+    ) -> None:
         self.row = row
         self.shift = shift
         self.open_masses = open_masses
@@ -565,7 +590,7 @@ def _scan_python(
 
 
 def resume_window_state(
-    st,
+    st: _PythonScanState,
     new_ranked: RankedDatabase,
     k: int,
     start: int,

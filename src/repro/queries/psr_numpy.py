@@ -136,7 +136,15 @@ class _NumpyScanState:
         "divisions",
     )
 
-    def __init__(self, row, shift, open_masses, p_open, closed_dp, remaining):
+    def __init__(
+        self,
+        row: int,
+        shift: int,
+        open_masses: Dict[int, float],
+        p_open: Optional[np.ndarray],
+        closed_dp: np.ndarray,
+        remaining: List[int],
+    ) -> None:
         self.row = row
         self.shift = shift
         self.open_masses = open_masses
@@ -272,7 +280,15 @@ class _WindowRho:
 
     __slots__ = ("exclusions", "live_rows", "live_shifts", "existential", "count", "k")
 
-    def __init__(self, exclusions, live_rows, live_shifts, existential, count, k):
+    def __init__(
+        self,
+        exclusions: np.ndarray,
+        live_rows: List[int],
+        live_shifts: List[int],
+        existential: np.ndarray,
+        count: int,
+        k: int,
+    ) -> None:
         self.exclusions = exclusions
         self.live_rows = live_rows
         self.live_shifts = live_shifts
@@ -281,7 +297,7 @@ class _WindowRho:
         self.k = k
 
     @property
-    def shape(self):
+    def shape(self) -> Tuple[int, int]:
         return (self.count, self.k)
 
     def materialize(self) -> np.ndarray:
@@ -301,7 +317,9 @@ class _WindowRho:
         return rho
 
 
-def _shift_groups(live_rows: List[int], live_shifts: List[int]):
+def _shift_groups(
+    live_rows: List[int], live_shifts: List[int]
+) -> List[Tuple[int, np.ndarray]]:
     """Live rows grouped by their saturation shift."""
     live = np.array(live_rows, dtype=np.int64)
     if min(live_shifts) == max(live_shifts):

@@ -213,7 +213,9 @@ def build_range_cleaning_problem(
     quality = compute_quality_range(db, low, high, value)
     ranked = db.ranked()
 
-    def as_array(source, label):
+    def as_array(
+        source: Union[Mapping[str, float], Iterable[float]], label: str
+    ) -> Tuple[float, ...]:
         if isinstance(source, Mapping):
             missing = [xt.xid for xt in db.xtuples if xt.xid not in source]
             if missing:
