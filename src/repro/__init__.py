@@ -1,7 +1,7 @@
 """repro: reproduction of "Cleaning Uncertain Data for Top-k Queries"
 (Mo, Cheng, Li, Cheung, Yang -- ICDE 2013).
 
-The library has five layers:
+The library has six layers:
 
 * :mod:`repro.db` -- the x-tuple probabilistic database model, ranking,
   possible-world semantics, serialization;
@@ -17,7 +17,11 @@ The library has five layers:
 * :mod:`repro.api` -- the serving façade: declarative request specs
   over a thread-safe :class:`SessionPool` of content-hash-identified
   snapshots, with batch execution sharing one PSR pass and cleaning
-  outcomes registered as new snapshots.
+  outcomes registered as new snapshots;
+* :mod:`repro.store` -- crash-safe durability under the façade:
+  checksummed atomic snapshot segments, a write-ahead journal of
+  cleaning outcomes replayed on startup, and quarantine of anything
+  that fails verification.
 
 Quickstart
 ----------
@@ -81,12 +85,17 @@ from repro.db import (
     make_xtuple,
 )
 from repro.exceptions import (
+    CorruptSnapshotError,
     InfeasibleTargetError,
     InvalidCleaningProblemError,
+    InvalidDataError,
     InvalidDatabaseError,
     InvalidQueryError,
     InvalidSpecError,
+    JournalReplayError,
     ReproError,
+    StoreError,
+    StoreWriteError,
     UnknownSnapshotError,
     UnknownXTupleError,
 )
@@ -95,8 +104,9 @@ from repro.queries import (
     QuerySession,
     compute_rank_probabilities,
 )
+from repro.store import RecoveryReport, SnapshotStore
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Legacy top-level entry points superseded by the :mod:`repro.api`
 #: façade.  They remain importable here through a module
@@ -161,6 +171,9 @@ __all__ = [
     "BatchSpec",
     "spec_from_dict",
     "snapshot_id_of",
+    # durability
+    "SnapshotStore",
+    "RecoveryReport",
     # database model
     "ProbabilisticDatabase",
     "RankedDatabase",
@@ -200,10 +213,15 @@ __all__ = [
     # exceptions
     "ReproError",
     "InvalidDatabaseError",
+    "InvalidDataError",
     "InvalidQueryError",
     "InvalidCleaningProblemError",
     "InvalidSpecError",
     "UnknownXTupleError",
     "UnknownSnapshotError",
     "InfeasibleTargetError",
+    "StoreError",
+    "StoreWriteError",
+    "CorruptSnapshotError",
+    "JournalReplayError",
 ]

@@ -47,8 +47,13 @@ from repro.core.lockcheck import (
 from repro.core.resilience import current_deadline
 from repro.db.database import ProbabilisticDatabase, RankedDatabase
 from repro.db.ranking import RankingFunction, rankings_equivalent
-from repro.exceptions import ServiceOverloadedError, UnknownSnapshotError
+from repro.exceptions import (
+    CorruptSnapshotError,
+    ServiceOverloadedError,
+    UnknownSnapshotError,
+)
 from repro.queries.engine import QuerySession
+from repro.store import SnapshotStore
 
 #: Default bound on concurrently cached sessions.
 DEFAULT_MAX_SESSIONS = 8
@@ -97,6 +102,13 @@ class SessionPool:
     admission_timeout_ms:
         Longest a lease waits for an admission slot.  A scoped request
         deadline tighter than this bounds the wait further.
+    store:
+        Optional :class:`~repro.store.SnapshotStore` backing the
+        registry.  When set, the store's recovered snapshots are
+        adopted at construction and every registration persists its
+        segment durably **before** publishing the in-memory entry, so
+        memory and disk can never disagree: a snapshot the pool serves
+        is on disk, and a failed write publishes nothing.
     """
 
     def __init__(
@@ -107,6 +119,7 @@ class SessionPool:
         workers: Optional[int] = None,
         max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
         admission_timeout_ms: float = DEFAULT_ADMISSION_TIMEOUT_MS,
+        store: Optional[SnapshotStore] = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
@@ -138,6 +151,9 @@ class SessionPool:
         self._snapshots: Dict[str, RankedDatabase] = {}
         self._snapshot_locks: Dict[str, OrderedLock] = {}
         self._sessions: "OrderedDict[str, QuerySession]" = OrderedDict()
+        self.store = store
+        if store is not None:
+            self._adopt_store(store)
         #: Lease-level cache telemetry (guarded by the pool lock).
         self.session_hits = 0
         self.session_misses = 0
@@ -150,10 +166,35 @@ class SessionPool:
     # ------------------------------------------------------------------
     # Snapshot registry
     # ------------------------------------------------------------------
+    def _adopt_store(self, store: SnapshotStore) -> None:
+        """Seed the registry with the store's recovered snapshots.
+
+        One extra integrity check the store itself cannot perform: the
+        pool's snapshot-id derivation must reproduce each stored id
+        from the recovered content.  A mismatch means the segment was
+        written under a different (or broken) id convention; serving
+        it under either id would lie to one side, so the segment is
+        quarantined and skipped instead.
+        """
+        for snapshot_id, ranked in store.snapshots().items():
+            if snapshot_id_of(ranked.db) != snapshot_id:
+                try:
+                    store.quarantine_segment(
+                        snapshot_id,
+                        "stored id does not derive from the content hash",
+                    )
+                except CorruptSnapshotError:
+                    continue
+            self._snapshots[snapshot_id] = ranked
+            self._snapshot_locks[snapshot_id] = OrderedLock(
+                f"snapshot.{snapshot_id}", RANK_SNAPSHOT
+            )
+
     def register(
         self,
         db: Union[ProbabilisticDatabase, RankedDatabase],
         session: Optional[QuerySession] = None,
+        durable: Optional[bool] = None,
     ) -> str:
         """Register an immutable snapshot; returns its content-hash id.
 
@@ -170,11 +211,28 @@ class SessionPool:
         over the snapshot -- the cleaning path uses this so a
         delta-derived session (one whose PSR cache was patched, not
         rebuilt) serves the outcome snapshot's future requests.
+
+        With a backing store, registration is **persist-first**: the
+        segment is durably committed before the in-memory entry is
+        published, so a write failure
+        (:class:`~repro.exceptions.StoreWriteError`) or a crash
+        mid-write leaves the registry exactly as it was -- memory
+        never advertises a snapshot disk does not hold.  ``durable``
+        ``False`` opts one registration out of persistence (the
+        snapshot stays memory-only); ``None``/``True`` persist
+        whenever a store is attached.
         """
         ranked = db if isinstance(db, RankedDatabase) else None
         raw = ranked.db if ranked is not None else db
         assert isinstance(raw, ProbabilisticDatabase)
         snapshot_id = snapshot_id_of(raw)
+        if self.store is not None and durable is not False:
+            if ranked is None:
+                ranked = raw.ranked(self.ranking)
+            # Outside the registry lock: the store lock (RANK_STORE)
+            # ranks below the registry lock, and a slow disk must not
+            # block unrelated leases.  The store serializes itself.
+            self.store.persist(snapshot_id, ranked)
         incoming = ranked.ranking if ranked is not None else self.ranking
         with self._lock:
             stored = self._snapshots.get(snapshot_id)

@@ -27,7 +27,9 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
 
-from repro.api.pool import SessionPool
+from pathlib import Path
+
+from repro.api.pool import SessionPool, snapshot_id_of
 from repro.api.results import ServiceResult
 from repro.api.specs import (
     BatchSpec,
@@ -47,14 +49,16 @@ from repro.cleaning.model import (
     build_cleaning_problem,
 )
 from repro.cleaning.random_cleaners import RandPCleaner, RandUCleaner
-from repro.core.counters import SESSION_COUNTERS
+from repro.core.counters import SESSION_COUNTERS, STORE_COUNTERS
 from repro.core.parallel import use_workers
 from repro.core.quality import compute_quality_detailed
 from repro.core.resilience import Deadline, check_deadline, scoped
 from repro.datasets.synthetic import generate_costs, generate_sc_probabilities
 from repro.db.database import ProbabilisticDatabase, RankedDatabase
 from repro.db.ranking import RankingFunction
+from repro.exceptions import InvalidSpecError, JournalReplayError
 from repro.queries.engine import QuerySession
+from repro.store import SnapshotStore
 
 _PLANNERS: Dict[str, type] = {
     "dp": DPCleaner,
@@ -102,6 +106,20 @@ class TopKService:
     max_in_flight / admission_timeout_ms:
         Admission-gate settings forwarded to the private pool only
         (see :class:`~repro.api.pool.SessionPool`).
+    store / store_dir / durability:
+        Durable persistence.  ``store`` attaches an existing
+        :class:`~repro.store.SnapshotStore`; ``store_dir`` opens (or
+        creates) one at that directory with the given ``durability``
+        (``"fsync"`` default, ``"none"`` for tests).  Either way the
+        store's recovered snapshots seed the pool, every registration
+        persists before publishing, executed cleanings are
+        write-ahead journaled, and pending journal records are
+        **replayed** here in the constructor -- re-executed
+        deterministically and verified against the journaled content
+        hash (divergence raises
+        :class:`~repro.exceptions.JournalReplayError`).  Forwarded to
+        the private pool only; a caller-supplied ``pool`` brings its
+        own store (or none).
     """
 
     def __init__(
@@ -113,6 +131,9 @@ class TopKService:
         workers: Optional[int] = None,
         max_in_flight: Optional[int] = None,
         admission_timeout_ms: Optional[float] = None,
+        store: Optional[SnapshotStore] = None,
+        store_dir: Optional[Union[str, Path]] = None,
+        durability: Optional[str] = None,
     ) -> None:
         if pool is not None and (
             ranking is not None
@@ -121,13 +142,24 @@ class TopKService:
             or workers is not None
             or max_in_flight is not None
             or admission_timeout_ms is not None
+            or store is not None
+            or store_dir is not None
+            or durability is not None
         ):
             raise ValueError(
                 "pass ranking/backend/max_sessions/workers/max_in_flight/"
-                "admission_timeout_ms only when the service creates its "
-                "own pool"
+                "admission_timeout_ms/store/store_dir/durability only when "
+                "the service creates its own pool"
             )
+        if store is not None and store_dir is not None:
+            raise ValueError("pass either store or store_dir, not both")
+        if durability is not None and store_dir is None:
+            raise ValueError("durability only applies with store_dir")
         if pool is None:
+            if store_dir is not None:
+                store = SnapshotStore(
+                    store_dir, durability=durability or "fsync"
+                )
             kwargs: Dict[str, Any] = {}
             if max_sessions is not None:
                 kwargs["max_sessions"] = max_sessions
@@ -136,9 +168,17 @@ class TopKService:
             if admission_timeout_ms is not None:
                 kwargs["admission_timeout_ms"] = admission_timeout_ms
             pool = SessionPool(
-                ranking=ranking, backend=backend, workers=workers, **kwargs
+                ranking=ranking,
+                backend=backend,
+                workers=workers,
+                store=store,
+                **kwargs,
             )
         self.pool = pool
+        self.store = pool.store
+        self._replaying = False
+        if self.store is not None:
+            self._replay_journal()
 
     @contextmanager
     def _admitted(self, spec: Any) -> Iterator[None]:
@@ -160,13 +200,102 @@ class TopKService:
             yield
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def _store_counters(self) -> Optional[Dict[str, int]]:
+        """Absolute store counters, or ``None`` without a store."""
+        if self.store is None:
+            return None
+        return self.store.counters()
+
+    def _with_store_delta(
+        self,
+        counters: Optional[Dict[str, int]],
+        before: Optional[Dict[str, int]],
+    ) -> Optional[Dict[str, int]]:
+        """Merge per-request store counter deltas into an envelope.
+
+        With a store attached, every envelope's ``counters`` carries
+        the :data:`~repro.core.counters.STORE_COUNTERS` deltas next to
+        the session counters -- segment writes and quarantines are
+        visible per request, not just in aggregate.
+        """
+        if before is None:
+            return counters
+        after = self.store.counters()
+        merged = dict(counters or {})
+        for name in STORE_COUNTERS:
+            merged[name] = after[name] - before[name]
+        return merged
+
+    def _replay_journal(self) -> None:
+        """Re-execute journaled cleanings whose segments are missing.
+
+        Runs once, at construction.  A pending record means a crash
+        struck after the journal append but before the outcome
+        segment's commit; cleaning is deterministic given the spec's
+        seed, so re-executing it against the (durable) base snapshot
+        regenerates bit-identical content.  The regenerated snapshot
+        id *and* content hash must match the journaled ones --
+        anything else means the durable history is inconsistent, and
+        opening fails with
+        :class:`~repro.exceptions.JournalReplayError` rather than
+        serving state that contradicts the journal.  The original
+        request's deadline / retry settings are stripped: replay must
+        complete, not re-honor a long-gone latency budget.
+        """
+        assert self.store is not None
+        for record in self.store.pending_cleanings():
+            base = record.get("base")
+            outcome_id = record.get("outcome")
+            if base not in self.pool:
+                raise JournalReplayError(
+                    f"journaled cleaning of base snapshot {base!r} cannot "
+                    f"be replayed: its segment is missing or quarantined"
+                )
+            spec_payload = dict(record.get("spec") or {})
+            spec_payload.pop("deadline_ms", None)
+            spec_payload.pop("retry_policy", None)
+            try:
+                spec = CleaningSpec.from_dict(spec_payload)
+            except InvalidSpecError as exc:
+                raise JournalReplayError(
+                    f"journaled cleaning spec of base {base!r} does not "
+                    f"decode: {exc}"
+                ) from exc
+            self._replaying = True
+            try:
+                result = self.clean(base, spec)
+            finally:
+                self._replaying = False
+            regenerated = result.payload.get("new_snapshot_id")
+            if regenerated != outcome_id or self.pool.database(
+                outcome_id
+            ).content_hash() != record.get("outcome_hash"):
+                raise JournalReplayError(
+                    f"replaying the journaled cleaning of {base!r} "
+                    f"produced snapshot {regenerated!r}, but the journal "
+                    f"recorded {outcome_id!r} (hash "
+                    f"{record.get('outcome_hash')!r}); the durable history "
+                    f"is inconsistent"
+                )
+            self.store.note_replayed()
+
+    # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------
     def register(
         self, db: Union[ProbabilisticDatabase, RankedDatabase]
     ) -> ServiceResult:
-        """Register a database snapshot; idempotent by content hash."""
+        """Register a database snapshot; idempotent by content hash.
+
+        With a store attached the snapshot is durably persisted before
+        it is published (see :meth:`repro.api.pool.SessionPool.\
+register`), and the envelope's ``counters`` reports the store's
+        per-request deltas.
+        """
         start = time.perf_counter()
+        store_before = self._store_counters()
         snapshot_id = self.pool.register(db)
         ranked = self.pool.ranked(snapshot_id)
         return ServiceResult(
@@ -178,6 +307,7 @@ class TopKService:
                 "name": ranked.db.name,
             },
             timing_ms=(time.perf_counter() - start) * 1000.0,
+            counters=self._with_store_delta(None, store_before),
         )
 
     def database(self, snapshot_id: str) -> ProbabilisticDatabase:
@@ -190,12 +320,15 @@ class TopKService:
     def query(self, snapshot_id: str, spec: QuerySpec) -> ServiceResult:
         """Answer the requested top-k semantics on one snapshot."""
         start = time.perf_counter()
+        store_before = self._store_counters()
         with self._admitted(spec), self.pool.lease(snapshot_id) as session:
             check_deadline("after queueing for a session lease")
             before = _counters_of(session)
             with use_workers(spec.workers):
                 payload = self._query_payload(session, spec)
-            counters = _counter_delta(before, session)
+            counters = self._with_store_delta(
+                _counter_delta(before, session), store_before
+            )
         return ServiceResult(
             kind="query",
             snapshot_id=snapshot_id,
@@ -208,12 +341,15 @@ class TopKService:
     def quality(self, snapshot_id: str, spec: QualitySpec) -> ServiceResult:
         """Score the top-k query's PWS-quality on one snapshot."""
         start = time.perf_counter()
+        store_before = self._store_counters()
         with self._admitted(spec), self.pool.lease(snapshot_id) as session:
             check_deadline("after queueing for a session lease")
             before = _counters_of(session)
             with use_workers(spec.workers):
                 payload = self._quality_payload(session, spec)
-            counters = _counter_delta(before, session)
+            counters = self._with_store_delta(
+                _counter_delta(before, session), store_before
+            )
         return ServiceResult(
             kind="quality",
             snapshot_id=snapshot_id,
@@ -233,6 +369,7 @@ class TopKService:
         result payload carries one envelope dict per item, in order.
         """
         start = time.perf_counter()
+        store_before = self._store_counters()
         with self._admitted(spec), self.pool.lease(snapshot_id) as session:
             check_deadline("after queueing for a session lease")
             before = _counters_of(session)
@@ -268,7 +405,9 @@ class TopKService:
                             counters=_counter_delta(item_before, session),
                         ).to_dict()
                     )
-            counters = _counter_delta(before, session)
+            counters = self._with_store_delta(
+                _counter_delta(before, session), store_before
+            )
         return ServiceResult(
             kind="batch",
             snapshot_id=snapshot_id,
@@ -290,8 +429,19 @@ class TopKService:
         seeded into the pool); the payload names it under
         ``"new_snapshot_id"``.  Plan-only requests leave the registry
         untouched and report the plan and its expected improvement.
+
+        With a store attached (and ``spec.durable`` not ``False``),
+        the outcome is **write-ahead journaled** before it is
+        registered: the journal records the base snapshot, the full
+        spec and the outcome's content hash, and only then is the
+        outcome segment persisted and published.  A crash anywhere in
+        between is recovered at the next open by re-executing the
+        journaled spec -- the execution is deterministic given
+        ``spec.seed`` -- so callers observe either the pre-clean or
+        the post-clean state, never a half-applied one.
         """
         start = time.perf_counter()
+        store_before = self._store_counters()
         with self._admitted(spec), self.pool.lease(snapshot_id) as session:
             check_deadline("after queueing for a session lease")
             before = _counters_of(session)
@@ -337,17 +487,36 @@ class TopKService:
             # last session reports the whole request's evaluation cost.
             counters = _counter_delta(before, final_session)
             if spec.execute and final_session is not session:
+                outcome_ranked = final_session.ranked
+                if (
+                    self.store is not None
+                    and spec.durable is not False
+                    and not self._replaying
+                ):
+                    # WAL ordering: the journal record must be durable
+                    # before the outcome segment (or the in-memory
+                    # entry) exists, so a crash after this line is
+                    # recoverable by deterministic re-execution.
+                    self.store.journal_clean(
+                        snapshot_id,
+                        spec.to_dict(),
+                        snapshot_id_of(outcome_ranked.db),
+                        outcome_ranked.db.content_hash(),
+                    )
                 # Publish the outcome snapshot (and its warm patched
                 # session) only after the counters were read: once the
                 # session is in the pool another thread may lease it
                 # and advance those counters concurrently.
                 payload["new_snapshot_id"] = self.pool.register(
-                    final_session.ranked, session=final_session
+                    outcome_ranked,
+                    session=final_session,
+                    durable=spec.durable,
                 )
             elif spec.execute:
                 # All probes failed: the outcome is content-equal to
                 # the input snapshot, so it registers to the same id.
                 payload["new_snapshot_id"] = snapshot_id
+            counters = self._with_store_delta(counters, store_before)
         return ServiceResult(
             kind="clean",
             snapshot_id=snapshot_id,

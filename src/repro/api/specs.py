@@ -278,6 +278,16 @@ class CleaningSpec:
         round re-plans, so no single upfront plan describes the run).
     seed:
         Probe-outcome randomness seed (simulations are reproducible).
+    durable:
+        Durability of the executed outcome when the service is backed
+        by a :class:`~repro.store.SnapshotStore`.  ``None``/``True``
+        (the default): the cleaning is write-ahead journaled and the
+        outcome snapshot's segment is persisted before the response is
+        produced, so a crash at any point recovers either the
+        pre-clean or the post-clean state.  ``False`` opts this
+        request out -- the outcome stays memory-only (gone on
+        restart).  Ignored (and harmless) without a store or without
+        ``execute``.
     deadline_ms / retry_policy:
         Request-level resilience settings (see :class:`QuerySpec`).  A
         deadline covers the whole cleaning run, re-planning rounds
@@ -296,6 +306,7 @@ class CleaningSpec:
     execute: bool = True
     adaptive: bool = False
     seed: int = 0
+    durable: Optional[bool] = None
     deadline_ms: Optional[float] = None
     retry_policy: Optional[RetryPolicy] = None
 
@@ -348,6 +359,10 @@ class CleaningSpec:
                 isinstance(value, int) and not isinstance(value, bool),
                 f"{label} must be an integer, got {value!r}",
             )
+        _require(
+            self.durable is None or isinstance(self.durable, bool),
+            f"durable must be a boolean or None, got {self.durable!r}",
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain JSON-serializable encoding (see :func:`spec_from_dict`)."""

@@ -25,6 +25,15 @@ Commands:
     Plan budgeted cleaning with DP / Greedy / RandP / RandU, report the
     expected improvement, optionally simulate execution and write the
     cleaned database.
+``store``
+    Inspect a snapshot store directory: recovered snapshots, journal
+    backlog, quarantined files and counters.
+
+``quality`` / ``query`` / ``clean`` accept ``--store DIR`` to serve
+over a crash-safe :class:`~repro.store.SnapshotStore`: snapshots are
+persisted durably, cleaning outcomes are journaled before they are
+published, and a restart of the CLI over the same directory recovers
+them (see the README's "Durability & crash recovery" section).
 
 Costs and sc-probabilities for ``clean`` are either generated from
 seeds (matching the paper's experimental setup) or read from a JSON
@@ -64,9 +73,19 @@ def _load_mapping(path: Optional[str]) -> Optional[Dict[str, Any]]:
         return json.load(f)
 
 
-def _service_for(db_path: str, ranking_name: str) -> Tuple[TopKService, str]:
-    """A one-shot service with the database file registered."""
-    service = TopKService(ranking=_ranking_for(ranking_name))
+def _service_for(
+    db_path: str, ranking_name: str, store_dir: Optional[str] = None
+) -> Tuple[TopKService, str]:
+    """A one-shot service with the database file registered.
+
+    With ``store_dir`` the service opens a durable
+    :class:`~repro.store.SnapshotStore` there first -- recovering any
+    previously persisted snapshots and replaying the cleaning journal
+    -- and registration persists the database before publishing it.
+    """
+    service = TopKService(
+        ranking=_ranking_for(ranking_name), store_dir=store_dir
+    )
     snapshot_id = service.register(io.load_json(db_path)).snapshot_id
     return service, snapshot_id
 
@@ -127,7 +146,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_quality(args: argparse.Namespace) -> int:
     """``repro quality``: score a top-k query's ambiguity."""
-    service, snapshot_id = _service_for(args.db, args.ranking)
+    service, snapshot_id = _service_for(args.db, args.ranking, args.store)
     spec = QualitySpec(
         k=args.k,
         method=args.method,
@@ -145,7 +164,7 @@ def cmd_quality(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     """``repro query``: answer the probabilistic top-k semantics."""
-    service, snapshot_id = _service_for(args.db, args.ranking)
+    service, snapshot_id = _service_for(args.db, args.ranking, args.store)
     spec = QuerySpec(
         k=args.k,
         semantics=args.semantics,
@@ -196,7 +215,7 @@ def cmd_clean(args: argparse.Namespace) -> int:
         ranking_name = "value"
     if k is None:
         k = 15
-    service, snapshot_id = _service_for(db_path, ranking_name)
+    service, snapshot_id = _service_for(db_path, ranking_name, args.store)
     execute = bool(args.execute or args.output)
     spec = CleaningSpec(
         k=k,
@@ -239,6 +258,37 @@ def cmd_clean(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store(args: argparse.Namespace) -> int:
+    """``repro store``: report a snapshot store directory's health."""
+    from repro.store import SnapshotStore
+
+    store = SnapshotStore(args.dir, durability="none")
+    status = store.status()
+    print(f"store {status['root']}:")
+    print(f"  snapshots: {len(status['snapshots'])}")
+    for snapshot_id in status["snapshots"]:
+        print(f"    {snapshot_id}")
+    print(f"  journal records: {status['journal_records']}")
+    if status["pending_cleanings"]:
+        print(f"  pending cleanings: {status['pending_cleanings']}")
+    if status["quarantined_files"]:
+        print(f"  quarantined: {status['quarantined_files']}")
+    recovery = status["recovery"]
+    if recovery["journal_truncated_bytes"]:
+        print(
+            f"  journal tail truncated: {recovery['journal_truncated_bytes']} "
+            f"bytes ({recovery['journal_truncate_reason']})"
+        )
+    if recovery["swept_temp_files"]:
+        print(f"  swept temp files: {recovery['swept_temp_files']}")
+    if args.json is not None:
+        envelope = {"command": "store", "status": status}
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(envelope, f, indent=2)
+            f.write("\n")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -274,6 +324,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shed the request with a typed error past this budget",
     )
+    q.add_argument(
+        "--store",
+        default=None,
+        help="durable snapshot store directory (recovered on open)",
+    )
     q.add_argument("--json", help="write the wire envelope here")
     q.set_defaults(fn=cmd_quality)
 
@@ -292,6 +347,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="shed the request with a typed error past this budget",
+    )
+    r.add_argument(
+        "--store",
+        default=None,
+        help="durable snapshot store directory (recovered on open)",
     )
     r.add_argument("--json", help="write the wire envelope here")
     r.set_defaults(fn=cmd_query)
@@ -326,9 +386,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shed the request with a typed error past this budget",
     )
+    c.add_argument(
+        "--store",
+        default=None,
+        help="durable snapshot store directory; cleaning outcomes are "
+        "journaled and persisted before they are published",
+    )
     c.add_argument("--json", help="write the wire envelope here")
     c.add_argument("--verbose", "-v", action="store_true")
     c.set_defaults(fn=cmd_clean)
+
+    s = sub.add_parser(
+        "store",
+        help="inspect a snapshot store directory (opening performs recovery)",
+    )
+    s.add_argument("--dir", required=True, help="store directory")
+    s.add_argument("--json", help="write the status envelope here")
+    s.set_defaults(fn=cmd_store)
 
     return parser
 

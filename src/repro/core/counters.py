@@ -37,7 +37,24 @@ SESSION_COUNTERS: Tuple[str, ...] = (
     "psr_degraded",
 )
 
+#: Cumulative counters of one :class:`~repro.store.SnapshotStore`, in
+#: envelope reporting order.  Unlike the session counters these live on
+#: the *store* (one per store directory, shared by every session served
+#: over it): segments durably committed, journal records re-executed at
+#: open, and files quarantined by verification failures.  The service
+#: façade surfaces them as per-request deltas next to the session
+#: counters whenever the pool is store-backed, so replays and
+#: quarantines are visible in result envelopes (and the CLI's JSON
+#: output) without log access.
+STORE_COUNTERS: Tuple[str, ...] = (
+    "psr_store_writes",
+    "psr_store_replays",
+    "psr_store_quarantined",
+)
+
 #: Counter names with the ``psr_`` prefix REP007 polices.
 PSR_COUNTERS: Tuple[str, ...] = tuple(
-    name for name in SESSION_COUNTERS if name.startswith("psr_")
+    name
+    for name in SESSION_COUNTERS + STORE_COUNTERS
+    if name.startswith("psr_")
 )

@@ -18,6 +18,7 @@ The declared hierarchy (outermost first)::
 
     RANK_ADMISSION      SessionPool admission semaphore
     RANK_SNAPSHOT       per-snapshot session locks
+    RANK_STORE          SnapshotStore directory lock
     RANK_POOL_REGISTRY  SessionPool bookkeeping lock
     RANK_WORKER_POOL    core.parallel worker-pool lifecycle lock
 
@@ -39,6 +40,7 @@ from repro.exceptions import LockOrderError
 #: (acquired first) to innermost.  Gaps leave room for future layers.
 RANK_ADMISSION = 10
 RANK_SNAPSHOT = 20
+RANK_STORE = 25
 RANK_POOL_REGISTRY = 30
 RANK_WORKER_POOL = 40
 

@@ -4,21 +4,64 @@ The JSON format keeps the x-tuple grouping explicit; the CSV format is
 one row per tuple with the x-tuple id as a column, which matches how
 Table I of the paper is laid out (sensor id, tuple id, value,
 probability).  Both formats round-trip exactly.
+
+Ingest is the trust boundary: external payloads are validated *before*
+any tuple object is constructed, and violations raise
+:class:`~repro.exceptions.InvalidDataError` naming the offending row
+or x-tuple -- a NaN probability in row 1234 of a CSV reports row 1234,
+not a bare ``InvalidDatabaseError`` three layers later.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import math
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Set, Union
 
 from repro.db.database import ProbabilisticDatabase
 from repro.db.tuples import ProbabilisticTuple, XTuple
+from repro.exceptions import InvalidDataError
 
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
+
+
+def _check_probability(value: Any, where: str) -> float:
+    """Validate one ingested existential probability.
+
+    Rejects non-numbers, booleans, NaN, infinities, non-positive
+    values and values above one -- each with the ingest location in
+    the message, so malformed input is attributable to its source row.
+    """
+    if (
+        not isinstance(value, (int, float))
+        or isinstance(value, bool)
+        or math.isnan(value)
+        or math.isinf(value)
+    ):
+        raise InvalidDataError(
+            f"{where}: probability must be a finite number, got {value!r}"
+        )
+    if not 0.0 < value <= 1.0:
+        raise InvalidDataError(
+            f"{where}: probability must lie in (0, 1], got {value!r}"
+        )
+    return float(value)
+
+
+def _check_new_id(value: Any, seen: Set[str], label: str, where: str) -> str:
+    """Validate one ingested identifier and record it as seen."""
+    if not isinstance(value, str) or not value:
+        raise InvalidDataError(
+            f"{where}: {label} must be a non-empty string, got {value!r}"
+        )
+    if value in seen:
+        raise InvalidDataError(f"{where}: duplicate {label} {value!r}")
+    seen.add(value)
+    return value
 
 
 def database_to_dict(db: ProbabilisticDatabase) -> Dict[str, Any]:
@@ -45,20 +88,45 @@ def database_to_dict(db: ProbabilisticDatabase) -> Dict[str, Any]:
 
 
 def database_from_dict(payload: Dict[str, Any]) -> ProbabilisticDatabase:
-    """Decode a database from :func:`database_to_dict` output."""
+    """Decode a database from :func:`database_to_dict` output.
+
+    Malformed input -- invalid or duplicate identifiers, empty
+    x-tuples, probabilities that are NaN, infinite, non-positive or
+    above one -- raises :class:`~repro.exceptions.InvalidDataError`
+    naming the offending x-tuple / tuple, before any database object
+    is built.
+    """
     if payload.get("format") != "repro.probabilistic_database":
         raise ValueError("payload is not a repro probabilistic database")
+    seen_xids: Set[str] = set()
+    seen_tids: Set[str] = set()
     xtuples: List[XTuple] = []
-    for xt in payload["xtuples"]:
-        xid = xt["xid"]
+    for position, xt in enumerate(payload["xtuples"]):
+        xid = _check_new_id(
+            xt.get("xid"), seen_xids, "x-tuple id", f"x-tuple #{position}"
+        )
+        alternatives = xt.get("alternatives")
+        if not alternatives:
+            raise InvalidDataError(
+                f"x-tuple {xid!r}: has no alternatives; every x-tuple "
+                f"must hold at least one tuple"
+            )
         members = tuple(
             ProbabilisticTuple(
-                tid=alt["tid"],
+                tid=_check_new_id(
+                    alt.get("tid"),
+                    seen_tids,
+                    "tuple id",
+                    f"x-tuple {xid!r}, alternative #{index}",
+                ),
                 xtuple_id=xid,
                 value=alt["value"],
-                probability=alt["probability"],
+                probability=_check_probability(
+                    alt.get("probability"),
+                    f"tuple {alt.get('tid')!r} of x-tuple {xid!r}",
+                ),
             )
-            for alt in xt["alternatives"]
+            for index, alt in enumerate(alternatives)
         )
         xtuples.append(XTuple(xid=xid, alternatives=members))
     return ProbabilisticDatabase(xtuples, name=payload.get("name", ""))
@@ -96,23 +164,45 @@ def load_csv(path: PathLike, name: str = "") -> ProbabilisticDatabase:
     """Read a database previously written by :func:`save_csv`.
 
     Rows sharing an ``xtuple_id`` are grouped into one x-tuple in file
-    order; x-tuples appear in order of their first row.
+    order; x-tuples appear in order of their first row.  Malformed
+    rows -- missing / duplicate identifiers, probabilities that do not
+    parse or that are NaN, infinite, non-positive or above one --
+    raise :class:`~repro.exceptions.InvalidDataError` naming the
+    offending row number (header = row 1).
     """
     grouped: Dict[str, List[ProbabilisticTuple]] = {}
     order: List[str] = []
+    seen_tids: Set[str] = set()
     with open(path, "r", encoding="utf-8", newline="") as f:
         reader = csv.DictReader(f)
-        for row in reader:
-            xid = row["xtuple_id"]
+        for number, row in enumerate(reader, start=2):
+            where = f"row {number}"
+            xid = row.get("xtuple_id")
+            if not xid:
+                raise InvalidDataError(
+                    f"{where}: xtuple_id must be a non-empty string, "
+                    f"got {xid!r}"
+                )
+            tid = _check_new_id(row.get("tid"), seen_tids, "tuple id", where)
+            raw = row.get("probability")
+            try:
+                probability = float(raw) if raw is not None else None
+            except ValueError:
+                probability = None
+            if probability is None:
+                raise InvalidDataError(
+                    f"{where}: probability must be a finite number, "
+                    f"got {raw!r}"
+                )
             if xid not in grouped:
                 grouped[xid] = []
                 order.append(xid)
             grouped[xid].append(
                 ProbabilisticTuple(
-                    tid=row["tid"],
+                    tid=tid,
                     xtuple_id=xid,
                     value=json.loads(row["value"]),
-                    probability=float(row["probability"]),
+                    probability=_check_probability(probability, where),
                 )
             )
     xtuples = [XTuple(xid=xid, alternatives=tuple(grouped[xid])) for xid in order]

@@ -15,7 +15,7 @@ higher), matching the paper.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -103,6 +103,63 @@ def by_sum_of_keys(*keys: str) -> RankingFunction:
 def custom(score: ScoreFunction, name: str = "custom") -> RankingFunction:
     """Wrap an arbitrary score callable into a :class:`RankingFunction`."""
     return RankingFunction(score, name=name)
+
+
+def ranking_descriptor(
+    ranking: Optional[RankingFunction],
+) -> Optional[Dict[str, Any]]:
+    """A JSON-serializable description of a factory-built ranking.
+
+    The durable snapshot store persists rankings *by rule*, not by
+    code object: the factory rankings (:func:`by_value`,
+    :func:`by_key`, :func:`by_sum_of_keys`) encode their scoring rule
+    in their name, so the rule round-trips through a plain dict and
+    :func:`ranking_from_descriptor` rebuilds an equivalent function in
+    a fresh process.  ``None`` (the by-value default) descriptors as
+    by-value.  Returns ``None`` for rankings whose rule is *not*
+    recoverable from their name (``custom`` / lambdas) -- such
+    snapshots cannot be persisted, and the store refuses them with a
+    typed error instead of silently re-ranking under the wrong order.
+    """
+    ranking = ranking if ranking is not None else by_value()
+    name = ranking.name
+    if name == "by_value":
+        return {"kind": "value"}
+    if name.startswith("by_key(") and name.endswith(")"):
+        return {"kind": "key", "key": name[len("by_key(") : -1]}
+    if name.startswith("by_sum_of_keys(") and name.endswith(")"):
+        keys = name[len("by_sum_of_keys(") : -1]
+        return {"kind": "sum_of_keys", "keys": keys.split(",")}
+    return None
+
+
+def ranking_from_descriptor(payload: Mapping[str, Any]) -> RankingFunction:
+    """Rebuild a factory ranking from :func:`ranking_descriptor` output.
+
+    Raises ``ValueError`` on an unknown or malformed descriptor -- the
+    store treats that as segment corruption, never as a reason to fall
+    back to a default ordering.
+    """
+    kind = payload.get("kind") if isinstance(payload, Mapping) else None
+    if kind == "value":
+        return by_value()
+    if kind == "key":
+        key = payload.get("key")
+        if not isinstance(key, str) or not key:
+            raise ValueError(f"malformed key ranking descriptor: {payload!r}")
+        return by_key(key)
+    if kind == "sum_of_keys":
+        keys = payload.get("keys")
+        if (
+            not isinstance(keys, (list, tuple))
+            or not keys
+            or not all(isinstance(k, str) and k for k in keys)
+        ):
+            raise ValueError(
+                f"malformed sum_of_keys ranking descriptor: {payload!r}"
+            )
+        return by_sum_of_keys(*keys)
+    raise ValueError(f"unknown ranking descriptor {payload!r}")
 
 
 #: Names that carry no identity (the constructor defaults) -- two

@@ -60,9 +60,72 @@ class UnknownXTupleError(InvalidCleaningProblemError):
         super().__init__(f"{field} {reason} x-tuple {xid!r}")
 
 
+class InvalidDataError(InvalidDatabaseError):
+    """External input (JSON/CSV ingest) is malformed.
+
+    Raised by :mod:`repro.db.io` *before* any tuple object is
+    constructed, naming the offending row / x-tuple: NaN, infinite,
+    non-positive or ``> 1`` probabilities, duplicate tuple ids,
+    duplicate x-tuple ids, and empty x-tuples are rejected at the
+    ingest boundary instead of propagating into the kernels.  Derives
+    from :class:`InvalidDatabaseError` so existing handlers keep
+    working; the narrower type marks the failure as *input* data, not
+    library state.
+    """
+
+
 class UnknownSnapshotError(ReproError):
     """A snapshot id was not registered with the
     :class:`~repro.api.pool.SessionPool` being addressed."""
+
+
+class StoreError(ReproError):
+    """Base class for durable snapshot-store failures.
+
+    Raised by :mod:`repro.store`: the crash-safe, content-hash-
+    addressed on-disk store under the serving layer.  Store errors are
+    operational -- the request was well-formed but the durable layer
+    could not honour it -- and serialize through the CLI's JSON error
+    envelope like the resilience errors.
+    """
+
+
+class StoreWriteError(StoreError):
+    """A durable write (segment or journal append) failed.
+
+    Raised when the disk rejects a write -- ``ENOSPC``, permissions,
+    I/O errors.  The store's write protocol guarantees the failed
+    write left no partial visible state: temp files are removed, a
+    partially appended journal record is truncated back out, and the
+    :class:`~repro.api.pool.SessionPool` never publishes an in-memory
+    entry whose durable write failed -- memory and disk cannot
+    disagree.
+    """
+
+
+class CorruptSnapshotError(StoreError):
+    """A stored snapshot segment failed verification.
+
+    Raised when a segment's framing, checksums, whole-file digest, or
+    content hash do not verify -- a torn write that survived a crash,
+    a flipped bit, a truncated file.  Recovery-on-open moves the file
+    into ``quarantine/`` and drops the snapshot from the registry
+    instead of serving it; this error is never swallowed into a
+    silently-wrong answer.
+    """
+
+
+class JournalReplayError(StoreError):
+    """A write-ahead journal record could not be replayed.
+
+    Raised at store open when a journaled cleaning outcome has no
+    surviving segment and re-executing the journaled spec is
+    impossible (its base snapshot was lost or quarantined) or
+    divergent (the re-executed outcome's content hash does not match
+    the journaled hash).  Either way the durable history is
+    inconsistent and the operator must intervene; opening proceeds no
+    further rather than serving a state that contradicts the journal.
+    """
 
 
 class ResilienceError(ReproError):
@@ -113,6 +176,21 @@ class FaultInjectedError(ResilienceError):
     is active; production code paths never construct one.  Lives in
     the shared taxonomy because worker processes must be able to
     unpickle it without importing the testing package's machinery.
+    """
+
+
+class SimulatedCrashError(FaultInjectedError):
+    """An injected process crash at a disk write step.
+
+    The in-process stand-in for SIGKILL used by the store's
+    crash-atomicity sweep: raised by the disk-fault harness at a named
+    write step (:mod:`repro.testing.faults`, kinds ``"crash"`` /
+    ``"torn"``), it must propagate out of the store *without any
+    cleanup running* -- a real crash runs no ``except`` blocks -- so
+    the on-disk state the next open recovers from is exactly what a
+    power cut would leave.  Store code therefore never catches it:
+    error-path cleanup handlers catch ``OSError``/:class:`StoreError`
+    only.
     """
 
 

@@ -1,0 +1,41 @@
+"""Durable, crash-safe persistence of snapshots (``repro.store``).
+
+The serving layer's snapshots live in memory
+(:class:`~repro.api.pool.SessionPool`); this package gives them a disk
+identity that survives process death.  Layering: ``repro.store`` sits
+between the data layer and the serving layer -- it imports
+:mod:`repro.db` (and the fault harness) and is imported by
+:mod:`repro.api`; it never imports the serving layer back.
+
+* :mod:`repro.store.format` -- the pure byte codec: checksummed
+  segment frames and length-prefixed journal records.
+* :mod:`repro.store.store` -- :class:`SnapshotStore`: atomic segment
+  writes, the write-ahead cleaning journal, and recovery-on-open with
+  quarantine of anything that fails verification.
+
+See the README's "Durability & crash recovery" section for the
+operational story.
+"""
+
+from repro.store.format import MAGIC, SCHEMA_VERSION
+from repro.store.store import (
+    JOURNAL_NAME,
+    SEGMENT_SUFFIX,
+    TMP_PREFIX,
+    RecoveryReport,
+    SnapshotStore,
+    stranded_temp_files,
+    tracked_store_roots,
+)
+
+__all__ = [
+    "JOURNAL_NAME",
+    "MAGIC",
+    "SCHEMA_VERSION",
+    "SEGMENT_SUFFIX",
+    "TMP_PREFIX",
+    "RecoveryReport",
+    "SnapshotStore",
+    "stranded_temp_files",
+    "tracked_store_roots",
+]

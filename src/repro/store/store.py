@@ -1,0 +1,614 @@
+"""The crash-safe on-disk snapshot store.
+
+:class:`SnapshotStore` owns one directory::
+
+    <root>/
+        segments/<snapshot-id>.seg   one verified segment per snapshot
+        journal.wal                  write-ahead log of cleaning outcomes
+        quarantine/                  segments that failed verification
+
+and guarantees, under any crash at any point of its write protocols,
+that the next open recovers either the complete pre-write state or the
+complete post-write state -- never a torn hybrid, and never silently
+wrong data.
+
+**Segments** are written atomically: encode fully in memory, write to a
+``.tmp-*`` sibling, fsync, rename over the final name, fsync the
+directory.  A crash before the rename leaves only a temp file (swept on
+open -> pre-state); after it, a fully durable segment (post-state).
+Every decoded byte is checksummed (:mod:`repro.store.format`) and the
+rebuilt ranked view is cross-checked column-by-column against the
+stored bytes and the content hash, so corruption is *detected*, and
+detected corruption is *quarantined* -- moved aside with a typed
+:class:`~repro.exceptions.CorruptSnapshotError`, never served.
+
+**The journal** records each executed cleaning (base snapshot, full
+spec, outcome snapshot id and content hash) *before* the outcome
+segment is written.  On open, a journaled outcome whose segment is
+missing is *pending*: the serving layer
+(:meth:`repro.api.service.TopKService._replay_journal`) re-executes the
+spec -- cleaning is deterministic given the spec's seed -- and verifies
+the regenerated content hash against the journaled one.  A torn tail
+(crash mid-append) is truncated back out; the journal is the WAL, so
+losing an un-fsynced tail record merely reverts to pre-state.
+
+Fault injection: every named step of the write / read protocols calls
+:func:`repro.testing.faults.draw_disk_fault`, so the crash-atomicity
+property above is *tested at every step*, not asserted.  With no plan
+armed the hook is a single ``None`` check.  Injected
+:class:`~repro.exceptions.SimulatedCrashError` deliberately skips all
+cleanup (``except`` clauses here catch ``OSError`` only) -- a real
+power cut runs no handlers either.
+
+Step names (patterns for :class:`~repro.testing.faults.FaultEvent`):
+``segment:begin``, ``segment:payload``, ``segment:written``,
+``segment:synced``, ``segment:renamed``, ``segment:committed``,
+``journal:begin``, ``journal:payload``, ``journal:written``,
+``journal:synced``, ``segment:read``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from repro.core.counters import STORE_COUNTERS
+from repro.core.lockcheck import RANK_STORE, OrderedLock
+from repro.db.database import CANONICAL_COLUMNS, RankedDatabase
+from repro.db.io import database_from_dict, database_to_dict
+from repro.db.ranking import ranking_descriptor, ranking_from_descriptor
+from repro.exceptions import (
+    CorruptSnapshotError,
+    InvalidDatabaseError,
+    SimulatedCrashError,
+    StoreWriteError,
+)
+from repro.store.format import (
+    decode_journal,
+    decode_segment,
+    encode_journal_record,
+    encode_segment,
+)
+from repro.testing.faults import (
+    draw_disk_fault,
+    execute_disk_fault,
+    flip_one_bit,
+    torn_payload,
+)
+
+#: File-name suffix of snapshot segments.
+SEGMENT_SUFFIX = ".seg"
+
+#: Prefix of in-flight temp files (swept on open; the leak fixture
+#: asserts none survive a test).
+TMP_PREFIX = ".tmp-"
+
+#: The write-ahead journal's file name inside the store root.
+JOURNAL_NAME = "journal.wal"
+
+#: Journal record schema version.
+JOURNAL_SCHEMA = 1
+
+_SEGMENTS_DIR = "segments"
+_QUARANTINE_DIR = "quarantine"
+
+#: Store roots opened by this process; the test suite's leak fixture
+#: sweeps these for stranded temp files after every test.
+_TRACKED_ROOTS: Set[Path] = set()
+
+
+def tracked_store_roots() -> List[Path]:
+    """Store roots opened in this process that still exist on disk."""
+    return sorted(root for root in _TRACKED_ROOTS if root.is_dir())
+
+
+def stranded_temp_files() -> List[Path]:
+    """Leftover ``.tmp-*`` files across every tracked store root.
+
+    A non-empty result outside a crash test means some write path
+    leaked its temp file instead of renaming or removing it.
+    """
+    stranded: List[Path] = []
+    for root in tracked_store_roots():
+        for directory in (root, root / _SEGMENTS_DIR):
+            if directory.is_dir():
+                stranded.extend(sorted(directory.glob(TMP_PREFIX + "*")))
+    return stranded
+
+
+def _disk_step(step: str) -> Optional[Dict[str, Any]]:
+    """Fire any armed fault at ``step``; returns data-kind directives.
+
+    Raising kinds (``crash`` / ``enospc``) raise out of
+    :func:`~repro.testing.faults.execute_disk_fault`; ``kill`` never
+    returns.  Data-transforming directives (``torn`` / ``bitflip`` /
+    ``shortread``) come back for the caller to apply to its bytes.
+    """
+    directive = draw_disk_fault(step)
+    if directive is not None:
+        execute_disk_fault(directive)
+    return directive
+
+
+def _apply_corruption(
+    directive: Mapping[str, Any], data: bytes
+) -> Tuple[bytes, bool]:
+    """``(possibly corrupted bytes, crash after the write?)``."""
+    kind = directive.get("kind")
+    if kind == "torn":
+        return torn_payload(data), True
+    if kind == "bitflip":
+        return flip_one_bit(data), False
+    return data, False
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one :class:`SnapshotStore` open found and repaired.
+
+    Attributes
+    ----------
+    loaded:
+        Snapshot ids whose segments verified and were adopted.
+    quarantined:
+        ``(file name, reason)`` per segment moved to ``quarantine/``.
+    swept_temp_files:
+        In-flight temp files from a previous crash that were removed.
+    journal_records:
+        Clean journal records parsed (pending or not).
+    journal_truncated_bytes / journal_truncate_reason:
+        Size and cause of the torn journal tail that was truncated
+        away (zero / empty when the journal was clean).
+    """
+
+    loaded: Tuple[str, ...]
+    quarantined: Tuple[Tuple[str, str], ...]
+    swept_temp_files: int
+    journal_records: int
+    journal_truncated_bytes: int
+    journal_truncate_reason: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON encoding (the CLI status envelope shape)."""
+        return {
+            "loaded": list(self.loaded),
+            "quarantined": [list(entry) for entry in self.quarantined],
+            "swept_temp_files": self.swept_temp_files,
+            "journal_records": self.journal_records,
+            "journal_truncated_bytes": self.journal_truncated_bytes,
+            "journal_truncate_reason": self.journal_truncate_reason,
+        }
+
+
+class SnapshotStore:
+    """Durable, content-hash-addressed storage of ranked snapshots.
+
+    Opening the store *is* recovery: the constructor sweeps temp
+    files, truncates any torn journal tail, verifies every segment
+    (quarantining failures), and leaves the verified snapshots in
+    :meth:`snapshots` and the findings in :attr:`recovery`.  Journal
+    records whose outcome segment is missing surface through
+    :meth:`pending_cleanings` for the serving layer to re-execute.
+
+    Parameters
+    ----------
+    root:
+        The store directory (created if absent).
+    durability:
+        ``"fsync"`` (default) syncs file and directory at every
+        commit point -- the crash-safe mode.  ``"none"`` skips
+        fsyncs: atomic renames still give all-or-nothing *files*, but
+        a power cut may revert to pre-state; meant for tests and
+        throwaway runs.
+
+    Operational counters (``psr_store_writes`` segments committed,
+    ``psr_store_replays`` journal records re-executed,
+    ``psr_store_quarantined`` files quarantined) live on the store --
+    one per directory, shared by all sessions served over it -- and are
+    declared in :data:`repro.core.counters.STORE_COUNTERS`.
+    """
+
+    def __init__(
+        self, root: Union[str, Path], durability: str = "fsync"
+    ) -> None:
+        if durability not in ("fsync", "none"):
+            raise ValueError(
+                f"durability must be 'fsync' or 'none', got {durability!r}"
+            )
+        self.root = Path(root)
+        self.durability = durability
+        self._segments_dir = self.root / _SEGMENTS_DIR
+        self._quarantine_dir = self.root / _QUARANTINE_DIR
+        self._journal_path = self.root / JOURNAL_NAME
+        self._lock = OrderedLock(f"store.{self.root.name}", RANK_STORE)
+        self.psr_store_writes = 0
+        self.psr_store_replays = 0
+        self.psr_store_quarantined = 0
+        self._snapshots: Dict[str, RankedDatabase] = {}
+        self._journal: List[Dict[str, Any]] = []
+        self._segments_dir.mkdir(parents=True, exist_ok=True)
+        self._quarantine_dir.mkdir(parents=True, exist_ok=True)
+        _TRACKED_ROOTS.add(self.root)
+        self.recovery = self._recover()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshots(self) -> Dict[str, RankedDatabase]:
+        """Verified snapshot views by id (a copy; safe to mutate)."""
+        with self._lock:
+            return dict(self._snapshots)
+
+    def has_segment(self, snapshot_id: str) -> bool:
+        """Whether a verified segment for this snapshot is on disk."""
+        with self._lock:
+            return snapshot_id in self._snapshots
+
+    def journal_records(self) -> List[Dict[str, Any]]:
+        """Every clean journal record, in append order (copies)."""
+        with self._lock:
+            return [dict(r) for r in self._journal]
+
+    def pending_cleanings(self) -> List[Dict[str, Any]]:
+        """Journaled cleanings whose outcome segment is missing.
+
+        These are the writes a crash interrupted after the journal
+        append but before the segment commit; the serving layer
+        re-executes them deterministically at open.
+        """
+        with self._lock:
+            return [
+                dict(r)
+                for r in self._journal
+                if r.get("outcome") not in self._snapshots
+            ]
+
+    def counters(self) -> Dict[str, int]:
+        """The store's operational counters, in registry order."""
+        return {name: getattr(self, name) for name in STORE_COUNTERS}
+
+    def status(self) -> Dict[str, Any]:
+        """One JSON-serializable health summary of the store.
+
+        Everything an operator needs after an incident: what is
+        durable, what the journal still owes, what recovery moved to
+        ``quarantine/``, and the counters -- the payload behind
+        ``repro store``.
+        """
+        with self._lock:
+            snapshot_ids = sorted(self._snapshots)
+            journal = len(self._journal)
+            pending = [
+                r.get("outcome")
+                for r in self._journal
+                if r.get("outcome") not in self._snapshots
+            ]
+        quarantined = sorted(
+            p.name for p in self._quarantine_dir.iterdir() if p.is_file()
+        )
+        return {
+            "root": str(self.root),
+            "durability": self.durability,
+            "snapshots": snapshot_ids,
+            "journal_records": journal,
+            "pending_cleanings": pending,
+            "quarantined_files": quarantined,
+            "counters": self.counters(),
+            "recovery": self.recovery.to_dict(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SnapshotStore {str(self.root)!r}: "
+            f"{len(self._snapshots)} segments, "
+            f"{len(self._journal)} journal records>"
+        )
+
+    # ------------------------------------------------------------------
+    # Recovery (runs in the constructor)
+    # ------------------------------------------------------------------
+    def _recover(self) -> RecoveryReport:
+        swept = 0
+        for directory in (self.root, self._segments_dir):
+            for tmp in sorted(directory.glob(TMP_PREFIX + "*")):
+                tmp.unlink()
+                swept += 1
+
+        truncated_bytes = 0
+        truncate_reason = ""
+        if self._journal_path.exists():
+            data = self._journal_path.read_bytes()
+            records, clean_length, truncate_reason = decode_journal(data)
+            if clean_length < len(data):
+                truncated_bytes = len(data) - clean_length
+                with open(self._journal_path, "r+b") as f:
+                    f.truncate(clean_length)
+                    self._fsync_file(f)
+                self._fsync_dir(self.root)
+            self._journal = records
+
+        loaded: List[str] = []
+        quarantined: List[Tuple[str, str]] = []
+        for path in sorted(self._segments_dir.glob("*" + SEGMENT_SUFFIX)):
+            try:
+                snapshot_id, ranked = self._load_segment(path)
+                if snapshot_id != path.name[: -len(SEGMENT_SUFFIX)]:
+                    raise CorruptSnapshotError(
+                        f"segment corrupt: header names snapshot "
+                        f"{snapshot_id!r} but the file is {path.name!r}"
+                    )
+            except (CorruptSnapshotError, OSError) as exc:
+                quarantined.append((path.name, str(exc)))
+                self._quarantine_file(path)
+                continue
+            self._snapshots[snapshot_id] = ranked
+            loaded.append(snapshot_id)
+        return RecoveryReport(
+            loaded=tuple(loaded),
+            quarantined=tuple(quarantined),
+            swept_temp_files=swept,
+            journal_records=len(self._journal),
+            journal_truncated_bytes=truncated_bytes,
+            journal_truncate_reason=truncate_reason,
+        )
+
+    def _load_segment(self, path: Path) -> Tuple[str, RankedDatabase]:
+        """Decode, verify, and rebuild one segment -- or raise.
+
+        Verification is belt *and* suspenders: the codec checks
+        framing, per-column CRCs and the whole-file digest; this layer
+        then rebuilds the database from the structure JSON, recomputes
+        its content hash against the header's, re-ranks it cold, and
+        compares every canonical column bitwise against the stored
+        bytes.  A segment that passes cannot silently disagree with
+        the view a fresh construction would produce.
+        """
+        directive = _disk_step("segment:read")
+        data = path.read_bytes()
+        if directive is not None:
+            kind = directive.get("kind")
+            if kind == "shortread":
+                data = data[: len(data) // 2]
+            elif kind == "bitflip":
+                data = flip_one_bit(data)
+        header, structure, columns = decode_segment(data)
+        try:
+            db = database_from_dict(structure)
+        except (InvalidDatabaseError, ValueError, KeyError, TypeError) as exc:
+            raise CorruptSnapshotError(
+                f"segment corrupt: structure does not decode ({exc})"
+            ) from None
+        if db.content_hash() != header.get("content_hash"):
+            raise CorruptSnapshotError(
+                "segment corrupt: content hash of the decoded database "
+                "does not match the header"
+            )
+        try:
+            ranking = ranking_from_descriptor(header.get("ranking"))
+        except ValueError as exc:
+            raise CorruptSnapshotError(
+                f"segment corrupt: {exc}"
+            ) from None
+        ranked = RankedDatabase(db, ranking)
+        for column in CANONICAL_COLUMNS:
+            blob = columns.get(column)
+            if blob is None:
+                raise CorruptSnapshotError(
+                    f"segment corrupt: column {column!r} is missing"
+                )
+            if np.ascontiguousarray(getattr(ranked, column)).tobytes() != blob:
+                raise CorruptSnapshotError(
+                    f"segment corrupt: column {column!r} does not match "
+                    f"the re-ranked view"
+                )
+        snapshot_id = header.get("snapshot_id")
+        if not isinstance(snapshot_id, str) or not snapshot_id:
+            raise CorruptSnapshotError(
+                f"segment corrupt: bad snapshot id {snapshot_id!r}"
+            )
+        return snapshot_id, ranked
+
+    def _quarantine_file(self, path: Path) -> str:
+        """Move a failing file into ``quarantine/``; returns its name."""
+        destination = self._quarantine_dir / path.name
+        counter = 0
+        while destination.exists():
+            counter += 1
+            destination = self._quarantine_dir / f"{path.name}.{counter}"
+        os.replace(path, destination)
+        self._fsync_dir(self._quarantine_dir)
+        self._fsync_dir(path.parent)
+        self.psr_store_quarantined += 1
+        return destination.name
+
+    def quarantine_segment(self, snapshot_id: str, reason: str) -> None:
+        """Evict a loaded snapshot whose segment proved untrustworthy.
+
+        Used by adopters (the session pool) that detect an
+        inconsistency the store's own verification cannot see, e.g. a
+        snapshot id derivation mismatch.  The segment moves to
+        ``quarantine/`` and the snapshot disappears from
+        :meth:`snapshots`; ``reason`` travels in the raised error.
+
+        Raises :class:`~repro.exceptions.CorruptSnapshotError` -- the
+        caller decides whether to swallow it (skip the snapshot) or
+        propagate.
+        """
+        with self._lock:
+            self._snapshots.pop(snapshot_id, None)
+            path = self._segment_path(snapshot_id)
+            if path.exists():
+                self._quarantine_file(path)
+        raise CorruptSnapshotError(
+            f"segment for snapshot {snapshot_id!r} quarantined: {reason}"
+        )
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def persist(self, snapshot_id: str, ranked: RankedDatabase) -> bool:
+        """Durably write one snapshot segment; idempotent by id.
+
+        Returns ``False`` (writing nothing) when the segment already
+        exists.  Any ``OSError`` on the write path -- disk full,
+        permissions -- cleans up the temp file and re-raises as
+        :class:`~repro.exceptions.StoreWriteError`; injected
+        :class:`~repro.exceptions.SimulatedCrashError` propagates with
+        no cleanup at all, leaving the on-disk state a crash would.
+        The in-memory index is updated only after the commit point, so
+        a failed persist is invisible both on disk and in memory.
+        """
+        descriptor = ranking_descriptor(ranked.ranking)
+        if descriptor is None:
+            raise StoreWriteError(
+                f"ranking {ranked.ranking!r} has no serializable "
+                f"descriptor; durable snapshots require a factory "
+                f"ranking (by_value / by_key / by_sum_of_keys)"
+            )
+        with self._lock:
+            if snapshot_id in self._snapshots:
+                return False
+            _disk_step("segment:begin")
+            columns = {
+                name: (
+                    getattr(ranked, name).dtype.str,
+                    np.ascontiguousarray(getattr(ranked, name)).tobytes(),
+                )
+                for name in CANONICAL_COLUMNS
+            }
+            payload = encode_segment(
+                snapshot_id=snapshot_id,
+                content_hash=ranked.db.content_hash(),
+                name=ranked.db.name,
+                ranking=descriptor,
+                structure=database_to_dict(ranked.db),
+                columns=columns,
+            )
+            crash_after = False
+            directive = _disk_step("segment:payload")
+            if directive is not None:
+                payload, crash_after = _apply_corruption(directive, payload)
+            final = self._segment_path(snapshot_id)
+            tmp = self._segments_dir / (TMP_PREFIX + snapshot_id)
+            try:
+                with open(tmp, "wb") as f:
+                    f.write(payload)
+                    _disk_step("segment:written")
+                    self._fsync_file(f)
+                _disk_step("segment:synced")
+                os.replace(tmp, final)
+            except OSError as exc:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+                raise StoreWriteError(
+                    f"could not persist segment {snapshot_id!r}: {exc}"
+                ) from exc
+            _disk_step("segment:renamed")
+            self._fsync_dir(self._segments_dir)
+            if crash_after:
+                # A torn write models data that never hit the platter
+                # even though the rename did: the truncated segment is
+                # durable and the "process" dies here.
+                raise SimulatedCrashError(
+                    f"injected torn write of segment {snapshot_id!r}"
+                )
+            _disk_step("segment:committed")
+            self._snapshots[snapshot_id] = ranked
+            self.psr_store_writes += 1
+            return True
+
+    def journal_clean(
+        self,
+        base_snapshot_id: str,
+        spec_payload: Mapping[str, Any],
+        outcome_snapshot_id: str,
+        outcome_hash: str,
+    ) -> Dict[str, Any]:
+        """Append one cleaning outcome to the write-ahead journal.
+
+        Called *before* the outcome segment is persisted: once this
+        returns, a crash at any later point is recoverable by
+        re-executing ``spec_payload`` against the base snapshot and
+        checking the regenerated content hash against
+        ``outcome_hash``.  A crash *during* the append leaves a torn
+        tail the next open truncates away -- the cleaning then simply
+        never happened durably (pre-state), which is correct because
+        the caller had not yet acknowledged it.
+        """
+        record = {
+            "schema": JOURNAL_SCHEMA,
+            "kind": "clean",
+            "base": base_snapshot_id,
+            "outcome": outcome_snapshot_id,
+            "outcome_hash": outcome_hash,
+            "spec": dict(spec_payload),
+        }
+        with self._lock:
+            _disk_step("journal:begin")
+            frame = encode_journal_record(record)
+            crash_after = False
+            directive = _disk_step("journal:payload")
+            if directive is not None:
+                frame, crash_after = _apply_corruption(directive, frame)
+            try:
+                f = open(self._journal_path, "ab")
+            except OSError as exc:
+                raise StoreWriteError(
+                    f"could not open journal for append: {exc}"
+                ) from exc
+            with f:
+                start = f.tell()
+                try:
+                    f.write(frame)
+                    f.flush()
+                    _disk_step("journal:written")
+                    self._fsync_file(f)
+                except OSError as exc:
+                    # Roll the partial frame back out so the failed
+                    # append is invisible -- the journal stays a clean
+                    # prefix of verified records.
+                    try:
+                        f.truncate(start)
+                        self._fsync_file(f)
+                    except OSError:
+                        pass
+                    raise StoreWriteError(
+                        f"could not append journal record: {exc}"
+                    ) from exc
+            _disk_step("journal:synced")
+            if crash_after:
+                raise SimulatedCrashError(
+                    "injected torn append to the cleaning journal"
+                )
+            self._journal.append(record)
+            return dict(record)
+
+    def note_replayed(self) -> None:
+        """Count one journal record successfully re-executed at open."""
+        with self._lock:
+            self.psr_store_replays += 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _segment_path(self, snapshot_id: str) -> Path:
+        return self._segments_dir / (snapshot_id + SEGMENT_SUFFIX)
+
+    def _fsync_file(self, f: Any) -> None:
+        if self.durability == "fsync":
+            os.fsync(f.fileno())
+
+    def _fsync_dir(self, path: Path) -> None:
+        if self.durability != "fsync":
+            return
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)

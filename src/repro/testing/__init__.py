@@ -3,7 +3,7 @@
 Currently one module: :mod:`repro.testing.faults`, the seeded
 fault-injection harness the resilience suite (and the ``fault-smoke``
 CI job) uses to exercise every recovery path of the parallel backend
-reproducibly.
+and the disk steps of the durable snapshot store reproducibly.
 """
 
 from repro.testing.faults import (
@@ -11,7 +11,11 @@ from repro.testing.faults import (
     FaultPlan,
     active_faults,
     clear_faults,
+    draw_disk_fault,
+    execute_disk_fault,
+    flip_one_bit,
     install_faults,
+    torn_payload,
     use_faults,
 )
 
@@ -20,6 +24,10 @@ __all__ = [
     "FaultPlan",
     "active_faults",
     "clear_faults",
+    "draw_disk_fault",
+    "execute_disk_fault",
+    "flip_one_bit",
     "install_faults",
+    "torn_payload",
     "use_faults",
 ]

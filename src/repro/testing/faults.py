@@ -25,7 +25,11 @@ Fault kinds (and the recovery path each exercises):
 
 ``kill``
     The worker SIGKILLs itself -- ``BrokenProcessPool``; supervisor
-    rebuilds the pool and retries the batch.
+    rebuilds the pool and retries the batch.  With a ``step`` set the
+    kill instead fires at that *disk* step of the snapshot store
+    (:mod:`repro.store`): the whole process SIGKILLs mid-write, which
+    is how the end-to-end kill-and-restart test crashes a real child
+    process at a deterministic point.
 ``hang``
     The worker sleeps past the progress timeout -- supervisor declares
     a hang, kills and rebuilds the pool, retries.
@@ -39,6 +43,33 @@ Fault kinds (and the recovery path each exercises):
     The **in-process** sharded scan raises -- forces the final
     degradation tier (NumPy kernel).
 
+Disk fault kinds (consumed by :mod:`repro.store` at its named write /
+read steps; ``step`` is an ``fnmatch`` pattern against step names like
+``"segment:payload"`` or ``"journal:*"``, ``None`` matches any step):
+
+``crash``
+    Raise :class:`~repro.exceptions.SimulatedCrashError` at the step:
+    the in-process stand-in for a power cut.  The store runs *no*
+    cleanup on this path, so reopen recovers exactly the state a real
+    crash would leave.
+``torn``
+    Write only a prefix of the payload, fsync it, then crash -- the
+    classic torn write.  Recovery must detect the truncated frame and
+    roll back to the pre-write state.
+``bitflip``
+    Flip one bit of the payload and complete the write *successfully*
+    -- silent media corruption.  The reader's checksums must catch it
+    and quarantine the file instead of serving it.
+``shortread``
+    The reader sees only a prefix of the file -- a truncation that
+    happened after the write.  Must surface as
+    :class:`~repro.exceptions.CorruptSnapshotError`, never as garbage
+    data.
+``enospc``
+    Raise ``OSError(ENOSPC)`` at the step -- disk full.  The store
+    must fail the write with a typed error and leave no partial state
+    (and the pool must roll back / never publish the in-memory entry).
+
 Activation: programmatically via :func:`install_faults` /
 :func:`use_faults`, or from the environment via ``REPRO_FAULTS`` (a
 JSON :meth:`FaultPlan.to_dict` encoding), which is how CI smoke jobs
@@ -47,21 +78,44 @@ switch plans on without touching test code.
 
 from __future__ import annotations
 
+import errno
+import fnmatch
 import json
 import os
 import signal
 import time
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from repro.exceptions import FaultInjectedError, InvalidSpecError
+from repro.exceptions import (
+    FaultInjectedError,
+    InvalidSpecError,
+    SimulatedCrashError,
+)
 
 #: Recognized fault kinds (see the module docstring for semantics).
-FAULT_KINDS = ("kill", "hang", "slow", "attach", "serial")
+FAULT_KINDS = (
+    "kill",
+    "hang",
+    "slow",
+    "attach",
+    "serial",
+    "crash",
+    "torn",
+    "bitflip",
+    "shortread",
+    "enospc",
+)
 
 #: Kinds that fire at the pooled-task injection point.
 TASK_KINDS = ("kill", "hang", "slow", "attach")
+
+#: Kinds that fire at the snapshot store's disk steps.  ``kill`` is in
+#: both sets: without a ``step`` it kills a pool worker, with one it
+#: SIGKILLs the whole process at that disk step.
+DISK_KINDS = ("crash", "torn", "bitflip", "shortread", "enospc", "kill")
 
 #: Default sleep of a ``hang`` directive.  Bounded (not infinite) so a
 #: supervision bug leaves a worker that eventually exits instead of a
@@ -82,17 +136,49 @@ class FaultEvent:
     budget; each :meth:`FaultPlan.draw` match decrements it, so a
     ``times=1`` kill fails the first attempt and lets the retry
     succeed.  ``delay_ms`` parameterizes ``hang`` / ``slow``.
+
+    ``step`` arms a *disk* fault instead: an ``fnmatch`` pattern
+    against the snapshot store's step names (``"segment:payload"``,
+    ``"journal:*"``, ...).  An event with a step set fires only at
+    :meth:`FaultPlan.draw_disk`, never at the task/serial points --
+    and the pure disk kinds require one.  ``skip`` ignores that many
+    matching disk draws before firing, so a test can let a base
+    snapshot persist cleanly and crash the *second* write at the same
+    step.
     """
 
     kind: str
     block: Optional[int] = None
     times: int = 1
     delay_ms: Optional[float] = None
+    step: Optional[str] = None
+    skip: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise InvalidSpecError(
                 f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.step is not None and not (
+            isinstance(self.step, str) and self.step
+        ):
+            raise InvalidSpecError(
+                f"fault step must be a non-empty string or None, "
+                f"got {self.step!r}"
+            )
+        if self.kind in DISK_KINDS and self.kind not in TASK_KINDS \
+                and self.step is None:
+            raise InvalidSpecError(
+                f"disk fault kind {self.kind!r} requires a step pattern"
+            )
+        if self.step is not None and self.kind not in DISK_KINDS:
+            raise InvalidSpecError(
+                f"fault kind {self.kind!r} cannot target a disk step"
+            )
+        if not isinstance(self.skip, int) or isinstance(self.skip, bool) \
+                or self.skip < 0:
+            raise InvalidSpecError(
+                f"fault skip must be a non-negative integer, got {self.skip!r}"
             )
         if self.block is not None and (
             not isinstance(self.block, int)
@@ -120,12 +206,17 @@ class FaultEvent:
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain JSON-serializable encoding."""
-        return {
+        payload: Dict[str, Any] = {
             "kind": self.kind,
             "block": self.block,
             "times": self.times,
             "delay_ms": self.delay_ms,
         }
+        if self.step is not None:
+            payload["step"] = self.step
+        if self.skip:
+            payload["skip"] = self.skip
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "FaultEvent":
@@ -133,7 +224,9 @@ class FaultEvent:
             raise InvalidSpecError(
                 f"fault event must be a mapping, got {payload!r}"
             )
-        unknown = sorted(set(payload) - {"kind", "block", "times", "delay_ms"})
+        unknown = sorted(
+            set(payload) - {"kind", "block", "times", "delay_ms", "step", "skip"}
+        )
         if unknown:
             raise InvalidSpecError(f"unknown fault-event fields {unknown!r}")
         try:
@@ -147,6 +240,8 @@ class FaultEvent:
             block=payload.get("block"),
             times=payload.get("times", 1),
             delay_ms=payload.get("delay_ms"),
+            step=payload.get("step"),
+            skip=payload.get("skip", 0),
         )
 
 
@@ -163,11 +258,17 @@ class FaultPlan:
     def __init__(self, events: Sequence[FaultEvent]) -> None:
         self.events: List[FaultEvent] = [
             FaultEvent(
-                kind=e.kind, block=e.block, times=e.times, delay_ms=e.delay_ms
+                kind=e.kind,
+                block=e.block,
+                times=e.times,
+                delay_ms=e.delay_ms,
+                step=e.step,
+                skip=e.skip,
             )
             for e in events
         ]
-        self.drawn: List[Tuple[str, int, Dict[str, Any]]] = []
+        #: Every directive issued: ``(point, block_or_step, directive)``.
+        self.drawn: List[Tuple[str, Any, Dict[str, Any]]] = []
 
     # -- wire form -----------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -208,6 +309,8 @@ class FaultPlan:
         for event in self.events:
             if event.times < 1:
                 continue
+            if event.step is not None:  # disk-armed; never fires here
+                continue
             if point == "serial" and event.kind != "serial":
                 continue
             if point == "task" and event.kind not in TASK_KINDS:
@@ -219,6 +322,30 @@ class FaultPlan:
             if event.delay_ms is not None:
                 directive["delay_ms"] = event.delay_ms
             self.drawn.append((point, block, directive))
+            return directive
+        return None
+
+    def draw_disk(self, step: str) -> Optional[Dict[str, Any]]:
+        """The directive (if any) armed for this disk step.
+
+        ``step`` is the store's step name (``"segment:payload"``,
+        ``"journal:synced"``, ``"segment:read"``, ...); an event fires
+        when its ``step`` pattern ``fnmatch``-es it, its ``skip``
+        budget is exhausted (matching draws decrement it first), and
+        ``times`` budget remains.  The directive carries the event's
+        ``kind`` plus the concrete step it fired at.
+        """
+        for event in self.events:
+            if event.step is None or event.times < 1:
+                continue
+            if not fnmatch.fnmatchcase(step, event.step):
+                continue
+            if event.skip > 0:
+                event.skip -= 1
+                continue
+            event.times -= 1
+            directive: Dict[str, Any] = {"kind": event.kind, "step": step}
+            self.drawn.append(("disk", step, directive))
             return directive
         return None
 
@@ -308,3 +435,68 @@ def execute_worker_fault(directive: Mapping[str, Any]) -> None:
         )
     else:  # pragma: no cover - draw() only emits known kinds
         raise FaultInjectedError(f"unknown fault directive {directive!r}")
+
+
+# ---------------------------------------------------------------------------
+# Disk faults (snapshot-store side)
+# ---------------------------------------------------------------------------
+
+
+def draw_disk_fault(step: str) -> Optional[Dict[str, Any]]:
+    """The active plan's directive for this disk step, or ``None``.
+
+    The store calls this at every named step of its write and read
+    protocols; with no plan armed the call is a cheap ``None`` and the
+    production path pays nothing else.
+    """
+    plan = active_faults()
+    if plan is None:
+        return None
+    return plan.draw_disk(step)
+
+
+def execute_disk_fault(directive: Mapping[str, Any]) -> None:
+    """Carry out the raising / killing disk directives.
+
+    ``crash`` raises :class:`~repro.exceptions.SimulatedCrashError`
+    (the store lets it propagate with no cleanup); ``kill`` SIGKILLs
+    the whole process -- for subprocess tests that reopen the store in
+    a fresh interpreter; ``enospc`` raises a genuine
+    ``OSError(ENOSPC)`` so the store's error handling is exercised by
+    the same exception a full disk produces.  The data-transforming
+    kinds (``torn`` / ``bitflip`` / ``shortread``) return without
+    raising: the store applies them to the bytes in flight via
+    :func:`torn_payload` / :func:`flip_one_bit` / read truncation.
+    """
+    kind = directive.get("kind")
+    step = directive.get("step", "?")
+    if kind == "crash":
+        raise SimulatedCrashError(f"injected crash at disk step {step!r}")
+    if kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if kind == "enospc":
+        raise OSError(errno.ENOSPC, os.strerror(errno.ENOSPC), str(step))
+
+
+def torn_payload(data: bytes) -> bytes:
+    """The prefix a torn write leaves behind: half the bytes.
+
+    Deterministic in the payload alone; always a *strict* prefix (at
+    least one byte short) so the tear is guaranteed detectable.
+    """
+    return bytes(data[: len(data) // 2])
+
+
+def flip_one_bit(data: bytes) -> bytes:
+    """``data`` with exactly one bit flipped, chosen deterministically.
+
+    The bit index is derived from the payload's own CRC, so the same
+    payload always corrupts the same way (replayable) while different
+    payloads exercise different offsets.  Empty payloads return empty.
+    """
+    if not data:
+        return b""
+    bit = zlib.crc32(data) % (8 * len(data))
+    corrupted = bytearray(data)
+    corrupted[bit // 8] ^= 1 << (bit % 8)
+    return bytes(corrupted)

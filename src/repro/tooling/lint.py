@@ -63,7 +63,7 @@ try:  # Python 3.11+
 except ModuleNotFoundError:  # pragma: no cover - 3.9/3.10 fallback
     tomllib = None  # type: ignore[assignment]
 
-from repro.core.counters import SESSION_COUNTERS
+from repro.core.counters import SESSION_COUNTERS, STORE_COUNTERS
 
 #: Severities a rule (or a config override) may use.
 SEVERITIES = ("error", "warning")
@@ -523,11 +523,11 @@ def _check_exception_hygiene(source: ModuleSource) -> Iterator[Tuple[ast.AST, st
     "REP007",
     "undeclared-counter",
     "Attributes named psr_* are operational counters; every one must be "
-    "declared in repro.core.counters.SESSION_COUNTERS so it is carried "
-    "across derives and surfaced in result envelopes.",
+    "declared in repro.core.counters (SESSION_COUNTERS or STORE_COUNTERS) "
+    "so it is carried across derives and surfaced in result envelopes.",
 )
 def _check_counter_registry(source: ModuleSource) -> Iterator[Tuple[ast.AST, str]]:
-    declared = frozenset(SESSION_COUNTERS)
+    declared = frozenset(SESSION_COUNTERS) | frozenset(STORE_COUNTERS)
     for node in ast.walk(source.tree):
         targets: List[ast.expr] = []
         if isinstance(node, ast.Assign):
@@ -542,9 +542,9 @@ def _check_counter_registry(source: ModuleSource) -> Iterator[Tuple[ast.AST, str
             ):
                 yield target, (
                     f"counter attribute {target.attr!r} is not declared in "
-                    f"repro.core.counters.SESSION_COUNTERS; undeclared "
-                    f"counters ship half-wired (dropped on derive, absent "
-                    f"from result envelopes)"
+                    f"repro.core.counters (SESSION_COUNTERS or "
+                    f"STORE_COUNTERS); undeclared counters ship half-wired "
+                    f"(dropped on derive, absent from result envelopes)"
                 )
 
 
@@ -576,6 +576,21 @@ def _check_no_print(source: ModuleSource) -> Iterator[Tuple[ast.AST, str]]:
 #: Packages the foundation layer may import from ``repro``.
 _DB_ALLOWED = ("repro.db", "repro.exceptions")
 
+#: Everything the persistence layer may import from ``repro``: the data
+#: layer below it, the fault-injection harness, and the lock-order
+#: checker.  Importing the serving layer back would create a cycle.
+_STORE_ALLOWED = (
+    "repro.db",
+    "repro.exceptions",
+    "repro.testing",
+    "repro.core",
+    "repro.store",
+)
+
+#: Units allowed to import the persistence layer.  The serving layer
+#: persists through it; nothing below the store may reach up into it.
+_STORE_IMPORTERS = ("api", "store", "cli", "__init__")
+
 #: Units allowed to import the service façade / CLI / bench harness.
 #: ``__init__`` is the top-level package root -- the public re-export
 #: surface -- which by design depends on everything below it.
@@ -606,9 +621,11 @@ def _module_level_repro_imports(
     "REP009",
     "layering-violation",
     "Module-level imports must respect the package layering: repro.db "
-    "imports nothing above itself; only api/bench/cli import repro.api; "
-    "only __main__ imports repro.cli; repro.tooling stays a leaf.  "
-    "Function-level lazy imports remain the sanctioned cycle-breaker.",
+    "imports nothing above itself; repro.store sits between db and api "
+    "and never imports the serving layer; only api/bench/cli import "
+    "repro.api; only __main__ imports repro.cli; repro.tooling stays a "
+    "leaf.  Function-level lazy imports remain the sanctioned "
+    "cycle-breaker.",
 )
 def _check_layering(source: ModuleSource) -> Iterator[Tuple[ast.AST, str]]:
     parts = source.package_parts
@@ -623,6 +640,17 @@ def _check_layering(source: ModuleSource) -> Iterator[Tuple[ast.AST, str]]:
                 f"repro.db is the foundation layer and must not import "
                 f"{imported!r}; move the dependency up or make it a "
                 f"function-level lazy import"
+            )
+        if package == "store" and not imported.startswith(_STORE_ALLOWED):
+            yield stmt, (
+                f"repro.store is the persistence layer and must not import "
+                f"{imported!r} (allowed: {_STORE_ALLOWED}); in particular "
+                f"it never imports the serving layer back"
+            )
+        if imported.startswith("repro.store") and package not in _STORE_IMPORTERS:
+            yield stmt, (
+                f"{imported!r} (the persistence layer) may only be imported "
+                f"by {_STORE_IMPORTERS}"
             )
         if imported.startswith("repro.api") and package not in _API_IMPORTERS:
             yield stmt, (
@@ -685,6 +713,84 @@ def _check_mutable_defaults(source: ModuleSource) -> Iterator[Tuple[ast.AST, str
                     f"mutable default argument in {node.name!r}; use None "
                     f"and construct inside the body"
                 )
+
+
+# ---------------------------------------------------------------------------
+# REP011 -- file writes only in the sanctioned modules
+# ---------------------------------------------------------------------------
+
+#: Modules allowed to open files for writing: the crash-safe store
+#: (which owns the temp+fsync+rename protocol), the db serializers,
+#: and the CLI's explicit output flags.  A write anywhere else
+#: bypasses the durability protocol and the stranded-temp accounting.
+_WRITE_SANCTIONED = (
+    "src/repro/store/*",
+    "src/repro/db/io.py",
+    "src/repro/cli.py",
+)
+
+#: ``os.open`` flag names that imply write access.
+_OS_WRITE_FLAGS = frozenset(
+    ("O_WRONLY", "O_RDWR", "O_CREAT", "O_APPEND", "O_TRUNC")
+)
+
+
+def _write_mode(node: ast.Call, mode_position: int) -> Optional[str]:
+    """The literal mode string of an ``open()`` call, if it writes.
+
+    ``mode_position`` is 1 for the builtin (``open(path, mode)``) and 0
+    for the ``Path.open(mode)`` method form.
+    """
+    mode: Optional[ast.expr] = None
+    if len(node.args) > mode_position:
+        mode = node.args[mode_position]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return None
+    if not isinstance(mode, ast.Constant) or not isinstance(mode.value, str):
+        return None
+    if any(flag in mode.value for flag in ("w", "a", "x", "+")):
+        return mode.value
+    return None
+
+
+@rule(
+    "REP011",
+    "unscoped-file-write",
+    "Opening a file for writing is allowed only in repro.store (the "
+    "crash-safe write protocol), repro.db.io (the serializers) and the "
+    "CLI; writes elsewhere bypass the temp+fsync+rename discipline and "
+    "the stranded-temp-file accounting.",
+    exclude=_WRITE_SANCTIONED,
+)
+def _check_scoped_writes(source: ModuleSource) -> Iterator[Tuple[ast.AST, str]]:
+    for node in _calls(source):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = _write_mode(node, mode_position=1)
+        elif isinstance(func, ast.Attribute) and func.attr == "open":
+            # ``os.open`` is an Attribute call too, but takes integer
+            # flags, not a mode string; the flag walk below covers it.
+            mode = _write_mode(node, mode_position=0)
+        else:
+            mode = None
+        if mode is not None:
+            yield node, (
+                f"open(..., {mode!r}) outside the sanctioned write "
+                f"modules {list(_WRITE_SANCTIONED)}; route the write "
+                f"through repro.store or repro.db.io"
+            )
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        if node.attr in _OS_WRITE_FLAGS:
+            yield node, (
+                f"os.{node.attr} implies write access outside the "
+                f"sanctioned write modules {list(_WRITE_SANCTIONED)}; "
+                f"route the write through repro.store"
+            )
 
 
 # ---------------------------------------------------------------------------

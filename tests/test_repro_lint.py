@@ -384,6 +384,20 @@ class TestCounterRegistry:
         )
         assert codes(report) == []
 
+    def test_store_counters_are_declared(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/store/x.py",
+            """
+            class S:
+                def __init__(self):
+                    self.psr_store_writes = 0
+                    self.psr_store_replays = 0
+                    self.psr_store_quarantined = 0
+            """,
+        )
+        assert codes(report) == []
+
 
 # ---------------------------------------------------------------------------
 # REP008 print-in-library
@@ -475,6 +489,51 @@ class TestLayering:
         )
         assert codes(report) == []
 
+    def test_store_must_not_import_api(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/store/x.py",
+            """
+            from repro.api.pool import SessionPool
+            """,
+        )
+        # Flagged both as an out-of-layer store import and as a
+        # non-sanctioned importer of the service façade.
+        assert "REP009" in codes(report)
+
+    def test_db_must_not_import_store(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/db/x.py",
+            """
+            from repro.store import SnapshotStore
+            """,
+        )
+        assert codes(report) == ["REP009", "REP009"]
+
+    def test_store_may_import_db_and_faults(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/store/x.py",
+            """
+            from repro.db.database import ProbabilisticDatabase
+            from repro.exceptions import CorruptSnapshotError
+            from repro.testing.faults import FaultPlan
+            from repro.core.lockcheck import OrderedLock
+            """,
+        )
+        assert codes(report) == []
+
+    def test_api_may_import_store(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/api/x.py",
+            """
+            from repro.store import SnapshotStore
+            """,
+        )
+        assert codes(report) == []
+
 
 # ---------------------------------------------------------------------------
 # REP010 mutable-default-argument
@@ -503,6 +562,92 @@ class TestMutableDefaults:
             """,
         )
         assert codes(report) == []
+
+
+# ---------------------------------------------------------------------------
+# REP011 unscoped-file-write
+# ---------------------------------------------------------------------------
+
+
+class TestScopedWrites:
+    def test_flags_write_mode_open_outside_store(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/queries/x.py",
+            """
+            def dump(path, text):
+                with open(path, "w", encoding="utf-8") as f:
+                    f.write(text)
+            """,
+        )
+        assert codes(report) == ["REP011"]
+
+    def test_flags_append_and_keyword_mode(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/core/x.py",
+            """
+            def log(path):
+                open(path, mode="ab").close()
+            """,
+        )
+        assert codes(report) == ["REP011"]
+
+    def test_flags_path_open_plus_mode(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/api/x.py",
+            """
+            def touch(path):
+                with path.open("r+b") as f:
+                    f.truncate()
+            """,
+        )
+        assert codes(report) == ["REP011"]
+
+    def test_flags_os_open_write_flags(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/queries/x.py",
+            """
+            import os
+
+            def raw(path):
+                return os.open(path, os.O_WRONLY | os.O_CREAT)
+            """,
+        )
+        assert codes(report) == ["REP011", "REP011"]
+
+    def test_reads_are_clean_everywhere(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/queries/x.py",
+            """
+            import os
+
+            def slurp(path):
+                with open(path, "r", encoding="utf-8") as f:
+                    data = f.read()
+                fd = os.open(path, os.O_RDONLY)
+                os.close(fd)
+                return data
+            """,
+        )
+        assert codes(report) == []
+
+    def test_store_and_io_and_cli_are_sanctioned(self, tmp_path):
+        code = """
+            def persist(path, data):
+                with open(path, "wb") as f:
+                    f.write(data)
+            """
+        for relpath in (
+            "src/repro/store/x.py",
+            "src/repro/db/io.py",
+            "src/repro/cli.py",
+        ):
+            report = lint_source(tmp_path, relpath, code)
+            assert codes(report) == [], relpath
 
 
 # ---------------------------------------------------------------------------
@@ -580,7 +725,7 @@ class TestFramework:
         assert rendered.startswith("src/repro/db/x.py:2:0: REP008 error:")
 
     def test_every_rule_has_catalogue_metadata(self):
-        assert len(RULES) == 10
+        assert len(RULES) == 11
         for code, rule in RULES.items():
             assert code.startswith("REP") and len(code) == 6
             assert rule.description and rule.name

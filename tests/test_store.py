@@ -1,0 +1,421 @@
+"""Unit tests of the snapshot store: codec, atomic writes, recovery.
+
+The crash-point *sweep* (every write step, pre-state or post-state)
+and the full service round trips live in ``test_store_recovery.py``;
+this file covers the building blocks: the byte codec's corruption
+detection, the atomic persist protocol, journal framing, quarantine,
+and the ingest validation at the ``repro.db.io`` trust boundary.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datasets.synthetic import generate_synthetic
+from repro.db import io
+from repro.db.database import RankedDatabase
+from repro.db.ranking import by_value
+from repro.exceptions import (
+    CorruptSnapshotError,
+    InvalidDataError,
+    StoreWriteError,
+)
+from repro.store import (
+    JOURNAL_NAME,
+    SEGMENT_SUFFIX,
+    TMP_PREFIX,
+    SnapshotStore,
+)
+from repro.store.format import (
+    decode_journal,
+    decode_segment,
+    encode_journal_record,
+    encode_segment,
+)
+from repro.testing import (
+    FaultEvent,
+    FaultPlan,
+    flip_one_bit,
+    use_faults,
+)
+
+
+def ranked_db(seed: int = 3, num_xtuples: int = 12) -> RankedDatabase:
+    return RankedDatabase(
+        generate_synthetic(num_xtuples=num_xtuples, seed=seed), by_value()
+    )
+
+
+def encoded_segment(snapshot_id: str = "s1") -> bytes:
+    ranked = ranked_db()
+    import numpy as np
+
+    from repro.db.database import CANONICAL_COLUMNS
+    from repro.db.io import database_to_dict
+    from repro.db.ranking import ranking_descriptor
+
+    columns = {
+        name: (
+            getattr(ranked, name).dtype.str,
+            np.ascontiguousarray(getattr(ranked, name)).tobytes(),
+        )
+        for name in CANONICAL_COLUMNS
+    }
+    return encode_segment(
+        snapshot_id=snapshot_id,
+        content_hash=ranked.db.content_hash(),
+        name=ranked.db.name,
+        ranking=ranking_descriptor(ranked.ranking),
+        structure=database_to_dict(ranked.db),
+        columns=columns,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The byte codec
+# ---------------------------------------------------------------------------
+
+
+class TestSegmentCodec:
+    def test_round_trip(self):
+        data = encoded_segment("s1")
+        header, structure, columns = decode_segment(data)
+        assert header["snapshot_id"] == "s1"
+        assert structure["format"] == "repro.probabilistic_database"
+        assert set(columns) == {
+            "scores_array",
+            "insertion_array",
+            "xtuple_indices_array",
+            "probabilities_array",
+            "completion_array",
+        }
+
+    def test_every_single_bitflip_is_detected(self):
+        # Not literally every bit (too slow) -- a spread of positions
+        # covering magic, header, structure, columns and digest.
+        data = encoded_segment()
+        for position in range(0, len(data), max(1, len(data) // 64)):
+            corrupt = bytearray(data)
+            corrupt[position] ^= 0x40
+            with pytest.raises(CorruptSnapshotError):
+                decode_segment(bytes(corrupt))
+
+    def test_truncation_is_detected_at_any_length(self):
+        data = encoded_segment()
+        for cut in (0, 1, 4, len(data) // 2, len(data) - 1):
+            with pytest.raises(CorruptSnapshotError):
+                decode_segment(data[:cut])
+
+    def test_trailing_garbage_is_detected(self):
+        data = encoded_segment()
+        with pytest.raises(CorruptSnapshotError):
+            decode_segment(data + b"\x00")
+
+    def test_flip_one_bit_changes_exactly_one_bit(self):
+        data = encoded_segment()
+        flipped = flip_one_bit(data)
+        assert len(flipped) == len(data)
+        diff = [
+            bin(a ^ b).count("1") for a, b in zip(data, flipped) if a != b
+        ]
+        assert diff == [1]
+
+
+class TestJournalCodec:
+    def test_round_trip(self):
+        frames = b"".join(
+            encode_journal_record({"kind": "clean", "n": i}) for i in range(3)
+        )
+        records, clean_length, reason = decode_journal(frames)
+        assert [r["n"] for r in records] == [0, 1, 2]
+        assert clean_length == len(frames)
+        assert reason == ""
+
+    def test_torn_tail_is_cut_at_record_boundary(self):
+        good = encode_journal_record({"kind": "clean", "n": 0})
+        torn = good + encode_journal_record({"kind": "clean", "n": 1})[:-3]
+        records, clean_length, reason = decode_journal(torn)
+        assert [r["n"] for r in records] == [0]
+        assert clean_length == len(good)
+        assert "torn" in reason
+
+    def test_corrupt_record_stops_the_clean_prefix(self):
+        good = encode_journal_record({"kind": "clean", "n": 0})
+        bad = bytearray(encode_journal_record({"kind": "clean", "n": 1}))
+        bad[-1] ^= 0xFF  # payload byte: CRC mismatch
+        records, clean_length, reason = decode_journal(good + bytes(bad))
+        assert [r["n"] for r in records] == [0]
+        assert clean_length == len(good)
+        assert "CRC" in reason
+
+
+# ---------------------------------------------------------------------------
+# SnapshotStore: atomic writes and recovery
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotStore:
+    def test_persist_then_reopen_recovers(self, tmp_path):
+        ranked = ranked_db()
+        store = SnapshotStore(tmp_path / "store", durability="none")
+        assert store.persist("s1", ranked) is True
+        assert store.counters()["psr_store_writes"] == 1
+
+        reopened = SnapshotStore(tmp_path / "store", durability="none")
+        assert reopened.recovery.loaded == ("s1",)
+        assert reopened.recovery.quarantined == ()
+        recovered = reopened.snapshots()["s1"]
+        assert recovered.db.content_hash() == ranked.db.content_hash()
+
+    def test_persist_is_idempotent_by_id(self, tmp_path):
+        ranked = ranked_db()
+        store = SnapshotStore(tmp_path / "store", durability="none")
+        assert store.persist("s1", ranked) is True
+        assert store.persist("s1", ranked) is False
+        assert store.counters()["psr_store_writes"] == 1
+
+    def test_fsync_durability_also_round_trips(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")  # durability="fsync"
+        store.persist("s1", ranked_db())
+        reopened = SnapshotStore(tmp_path / "store")
+        assert reopened.recovery.loaded == ("s1",)
+
+    def test_unserializable_ranking_is_refused(self, tmp_path):
+        from repro.db.ranking import custom
+
+        db = generate_synthetic(num_xtuples=5, seed=1)
+        ranked = RankedDatabase(db, custom(lambda t: float(t.value)))
+        store = SnapshotStore(tmp_path / "store", durability="none")
+        with pytest.raises(StoreWriteError, match="descriptor"):
+            store.persist("s1", ranked)
+        assert store.snapshots() == {}
+
+    def test_bad_durability_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="durability"):
+            SnapshotStore(tmp_path / "store", durability="eventually")
+
+    def test_enospc_cleans_up_and_raises_typed(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store", durability="none")
+        plan = FaultPlan([FaultEvent(kind="enospc", step="segment:written")])
+        with use_faults(plan):
+            with pytest.raises(StoreWriteError, match="No space left"):
+                store.persist("s1", ranked_db())
+        assert store.snapshots() == {}
+        assert not store.has_segment("s1")
+        assert list((tmp_path / "store" / "segments").iterdir()) == []
+        # And the path is not poisoned: the retry succeeds.
+        assert store.persist("s1", ranked_db()) is True
+
+    def test_temp_files_are_swept_on_open(self, tmp_path):
+        root = tmp_path / "store"
+        store = SnapshotStore(root, durability="none")
+        store.persist("s1", ranked_db())
+        (root / "segments" / (TMP_PREFIX + "s2")).write_bytes(b"half a write")
+        reopened = SnapshotStore(root, durability="none")
+        assert reopened.recovery.swept_temp_files == 1
+        assert reopened.recovery.loaded == ("s1",)
+        assert list((root / "segments").glob(TMP_PREFIX + "*")) == []
+
+    def test_garbage_segment_is_quarantined_not_served(self, tmp_path):
+        root = tmp_path / "store"
+        store = SnapshotStore(root, durability="none")
+        store.persist("s1", ranked_db())
+        (root / "segments" / ("junk" + SEGMENT_SUFFIX)).write_bytes(
+            b"not a segment at all"
+        )
+        reopened = SnapshotStore(root, durability="none")
+        assert reopened.recovery.loaded == ("s1",)
+        assert [name for name, _ in reopened.recovery.quarantined] == [
+            "junk" + SEGMENT_SUFFIX
+        ]
+        assert reopened.counters()["psr_store_quarantined"] == 1
+        assert (root / "quarantine" / ("junk" + SEGMENT_SUFFIX)).exists()
+
+    def test_tampered_segment_is_quarantined(self, tmp_path):
+        root = tmp_path / "store"
+        store = SnapshotStore(root, durability="none")
+        store.persist("s1", ranked_db())
+        path = root / "segments" / ("s1" + SEGMENT_SUFFIX)
+        path.write_bytes(flip_one_bit(path.read_bytes()))
+        reopened = SnapshotStore(root, durability="none")
+        assert reopened.recovery.loaded == ()
+        assert len(reopened.recovery.quarantined) == 1
+        name, reason = reopened.recovery.quarantined[0]
+        assert name == "s1" + SEGMENT_SUFFIX
+        assert "corrupt" in reason
+
+    def test_misnamed_segment_is_quarantined(self, tmp_path):
+        # A segment whose header names a different snapshot than its
+        # file name must not be adopted under either identity.
+        root = tmp_path / "store"
+        store = SnapshotStore(root, durability="none")
+        store.persist("s1", ranked_db())
+        src = root / "segments" / ("s1" + SEGMENT_SUFFIX)
+        src.rename(root / "segments" / ("s2" + SEGMENT_SUFFIX))
+        reopened = SnapshotStore(root, durability="none")
+        assert reopened.recovery.loaded == ()
+        assert [name for name, _ in reopened.recovery.quarantined] == [
+            "s2" + SEGMENT_SUFFIX
+        ]
+
+    def test_shortread_at_open_quarantines(self, tmp_path):
+        root = tmp_path / "store"
+        SnapshotStore(root, durability="none").persist("s1", ranked_db())
+        plan = FaultPlan([FaultEvent(kind="shortread", step="segment:read")])
+        with use_faults(plan):
+            reopened = SnapshotStore(root, durability="none")
+        assert reopened.recovery.loaded == ()
+        assert len(reopened.recovery.quarantined) == 1
+
+    def test_torn_journal_tail_is_truncated_on_open(self, tmp_path):
+        root = tmp_path / "store"
+        store = SnapshotStore(root, durability="none")
+        record = store.journal_clean("s-base", {"k": 5}, "s-out", "hash")
+        assert record["base"] == "s-base"
+        journal = root / JOURNAL_NAME
+        clean_length = journal.stat().st_size
+        with open(journal, "ab") as f:
+            f.write(encode_journal_record({"kind": "clean"})[:-5])
+        reopened = SnapshotStore(root, durability="none")
+        assert reopened.recovery.journal_records == 1
+        assert reopened.recovery.journal_truncated_bytes > 0
+        assert "torn" in reopened.recovery.journal_truncate_reason
+        assert journal.stat().st_size == clean_length
+        assert reopened.pending_cleanings()[0]["outcome"] == "s-out"
+
+    def test_status_shape(self, tmp_path):
+        root = tmp_path / "store"
+        store = SnapshotStore(root, durability="none")
+        store.persist("s1", ranked_db())
+        store.journal_clean("s1", {"k": 5}, "s-out", "hash")
+        status = store.status()
+        assert status["snapshots"] == ["s1"]
+        assert status["journal_records"] == 1
+        assert status["pending_cleanings"] == ["s-out"]
+        assert status["quarantined_files"] == []
+        assert status["durability"] == "none"
+        assert status["counters"]["psr_store_writes"] == 1
+        assert status["recovery"]["loaded"] == []
+        json.dumps(status)  # the whole envelope must be serializable
+
+
+# ---------------------------------------------------------------------------
+# Ingest validation (the repro.db.io trust boundary)
+# ---------------------------------------------------------------------------
+
+
+def payload_with_probability(p):
+    return {
+        "format": "repro.probabilistic_database",
+        "version": 1,
+        "name": "t",
+        "xtuples": [
+            {
+                "xid": "x1",
+                "alternatives": [
+                    {"tid": "t1", "value": 1.0, "probability": p}
+                ],
+            }
+        ],
+    }
+
+
+class TestIngestValidation:
+    @pytest.mark.parametrize(
+        "probability",
+        [float("nan"), float("inf"), -0.25, 0.0, 1.5, "0.5", None, True],
+    )
+    def test_bad_probabilities_are_rejected(self, probability):
+        with pytest.raises(InvalidDataError, match="probability"):
+            io.database_from_dict(payload_with_probability(probability))
+
+    def test_error_names_the_offending_tuple(self):
+        with pytest.raises(InvalidDataError, match="'t1'.*'x1'"):
+            io.database_from_dict(payload_with_probability(float("nan")))
+
+    def test_duplicate_tuple_id_is_rejected(self):
+        payload = payload_with_probability(0.5)
+        payload["xtuples"][0]["alternatives"].append(
+            {"tid": "t1", "value": 2.0, "probability": 0.3}
+        )
+        with pytest.raises(InvalidDataError, match="duplicate tuple id"):
+            io.database_from_dict(payload)
+
+    def test_duplicate_xtuple_id_is_rejected(self):
+        payload = payload_with_probability(0.5)
+        payload["xtuples"].append(
+            {
+                "xid": "x1",
+                "alternatives": [
+                    {"tid": "t2", "value": 2.0, "probability": 0.3}
+                ],
+            }
+        )
+        with pytest.raises(InvalidDataError, match="duplicate x-tuple id"):
+            io.database_from_dict(payload)
+
+    def test_empty_xtuple_is_rejected(self):
+        payload = payload_with_probability(0.5)
+        payload["xtuples"].append({"xid": "x2", "alternatives": []})
+        with pytest.raises(InvalidDataError, match="no alternatives"):
+            io.database_from_dict(payload)
+
+    def test_missing_xid_is_rejected(self):
+        payload = payload_with_probability(0.5)
+        del payload["xtuples"][0]["xid"]
+        with pytest.raises(InvalidDataError, match="x-tuple #0"):
+            io.database_from_dict(payload)
+
+    def test_valid_payload_still_round_trips(self):
+        db = generate_synthetic(num_xtuples=8, seed=5)
+        assert (
+            io.database_from_dict(io.database_to_dict(db)).content_hash()
+            == db.content_hash()
+        )
+
+    def test_csv_bad_probability_names_the_row(self, tmp_path):
+        path = tmp_path / "db.csv"
+        io.save_csv(generate_synthetic(num_xtuples=2, seed=1), path)
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+        lines[3] = lines[3].rsplit(",", 1)[0] + ",nope\n"
+        path.write_text("".join(lines), encoding="utf-8")
+        with pytest.raises(InvalidDataError, match="row 4"):
+            io.load_csv(path)
+
+    def test_csv_nan_probability_is_rejected(self, tmp_path):
+        # float("nan") parses fine -- the range check must still fire.
+        path = tmp_path / "db.csv"
+        io.save_csv(generate_synthetic(num_xtuples=2, seed=1), path)
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+        lines[2] = lines[2].rsplit(",", 1)[0] + ",nan\n"
+        path.write_text("".join(lines), encoding="utf-8")
+        with pytest.raises(InvalidDataError, match="row 3"):
+            io.load_csv(path)
+
+    def test_csv_duplicate_tid_is_rejected(self, tmp_path):
+        path = tmp_path / "db.csv"
+        io.save_csv(generate_synthetic(num_xtuples=2, seed=1), path)
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+        lines.append(lines[1])  # replay the first data row verbatim
+        path.write_text("".join(lines), encoding="utf-8")
+        with pytest.raises(InvalidDataError, match="duplicate tuple id"):
+            io.load_csv(path)
+
+    def test_csv_empty_xid_is_rejected(self, tmp_path):
+        path = tmp_path / "db.csv"
+        io.save_csv(generate_synthetic(num_xtuples=2, seed=1), path)
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+        lines[1] = "," + lines[1].split(",", 1)[1]
+        path.write_text("".join(lines), encoding="utf-8")
+        with pytest.raises(InvalidDataError, match="row 2"):
+            io.load_csv(path)
+
+    def test_csv_round_trips_clean_data(self, tmp_path):
+        db = generate_synthetic(num_xtuples=6, seed=2)
+        path = tmp_path / "db.csv"
+        io.save_csv(db, path)
+        assert io.load_csv(path, name=db.name).content_hash() == (
+            db.content_hash()
+        )

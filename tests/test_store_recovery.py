@@ -1,0 +1,431 @@
+"""Crash-atomicity and recovery of the durable serving stack.
+
+The property under test (the ISSUE's acceptance bar): a crash at *any*
+step of the store's write protocols leaves the next open with either
+the complete pre-write state or the complete post-write state -- never
+a torn hybrid, never silently wrong data.  Each crash point is injected
+via :mod:`repro.testing.faults`, the "process death" is a
+:class:`~repro.exceptions.SimulatedCrashError` (in-process) or a real
+``SIGKILL`` (the subprocess test), and recovery is judged against an
+oracle service that ran the same deterministic workload without
+faults -- payloads must agree to 1e-9.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from conftest import assert_payloads_close
+from repro.api.service import TopKService
+from repro.api.specs import CleaningSpec, QuerySpec
+from repro.datasets.synthetic import generate_synthetic
+from repro.db import io
+from repro.exceptions import (
+    JournalReplayError,
+    SimulatedCrashError,
+    StoreWriteError,
+)
+from repro.store import SnapshotStore
+from repro.testing import FaultEvent, FaultPlan, use_faults
+
+K = 5
+CLEAN_SPEC = CleaningSpec(k=K, budget=40, execute=True, seed=7)
+QUERY_SPEC = QuerySpec(k=K)
+
+
+def small_db(seed: int = 3):
+    return generate_synthetic(num_xtuples=20, seed=seed)
+
+
+def oracle_outcome():
+    """The fault-free result of the canonical workload: (id, payload)."""
+    service = TopKService()
+    base = service.register(small_db()).snapshot_id
+    outcome = service.clean(base, CLEAN_SPEC).payload["new_snapshot_id"]
+    return base, outcome, service.query(outcome, QUERY_SPEC).payload
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return oracle_outcome()
+
+
+class TestDurableRoundTrip:
+    def test_snapshots_survive_a_restart(self, tmp_path, oracle):
+        base_id, outcome_id, oracle_payload = oracle
+        service = TopKService(store_dir=tmp_path / "store", durability="none")
+        assert service.register(small_db()).snapshot_id == base_id
+        result = service.clean(base_id, CLEAN_SPEC)
+        assert result.payload["new_snapshot_id"] == outcome_id
+        assert result.counters["psr_store_writes"] == 1
+
+        # "Restart": a brand-new service over the same directory.
+        reopened = TopKService(
+            store_dir=tmp_path / "store", durability="none"
+        )
+        assert reopened.store.recovery.loaded == tuple(
+            sorted((base_id, outcome_id))
+        )
+        assert reopened.store.recovery.quarantined == ()
+        assert_payloads_close(
+            reopened.query(outcome_id, QUERY_SPEC).payload, oracle_payload
+        )
+        # Nothing pending, nothing replayed: recovery was pure reads.
+        assert reopened.store.pending_cleanings() == []
+        assert reopened.store.counters()["psr_store_replays"] == 0
+
+    def test_register_envelope_carries_store_deltas(self, tmp_path):
+        service = TopKService(store_dir=tmp_path / "store", durability="none")
+        result = service.register(small_db())
+        assert result.counters["psr_store_writes"] == 1
+        again = service.register(small_db())
+        assert again.counters["psr_store_writes"] == 0  # idempotent
+
+    def test_durable_false_keeps_cleaning_memory_only(self, tmp_path, oracle):
+        base_id, outcome_id, _ = oracle
+        service = TopKService(store_dir=tmp_path / "store", durability="none")
+        service.register(small_db())
+        spec = CleaningSpec(
+            k=K, budget=40, execute=True, seed=7, durable=False
+        )
+        assert service.clean(base_id, spec).payload["new_snapshot_id"] == (
+            outcome_id
+        )
+        assert outcome_id in service.pool
+        assert not service.store.has_segment(outcome_id)
+        assert service.store.journal_records() == []
+
+    def test_pool_and_store_never_disagree_on_failed_persist(self, tmp_path):
+        service = TopKService(store_dir=tmp_path / "store", durability="none")
+        plan = FaultPlan([FaultEvent(kind="enospc", step="segment:written")])
+        with use_faults(plan):
+            with pytest.raises(StoreWriteError):
+                service.register(small_db())
+        # Persist-first-then-publish: the failed write is invisible in
+        # *both* the store and the pool.
+        assert service.pool.num_snapshots == 0
+        assert service.store.snapshots() == {}
+        # The same registration succeeds once the disk recovers.
+        snapshot_id = service.register(small_db()).snapshot_id
+        assert snapshot_id in service.pool
+        assert service.store.has_segment(snapshot_id)
+
+
+# ---------------------------------------------------------------------------
+# The crash-point sweep
+# ---------------------------------------------------------------------------
+
+#: Every write step of the clean path, with the state the next open
+#: must recover: "pre" (the cleaning never happened) or "post" (the
+#: outcome is available, by durable segment or by journal replay).
+CRASH_POINTS = [
+    ("journal:begin", "pre"),
+    ("journal:payload", "pre"),
+    ("journal:written", "post"),
+    ("journal:synced", "post"),
+    ("segment:begin", "post"),
+    ("segment:payload", "post"),
+    ("segment:written", "post"),
+    ("segment:synced", "post"),
+    ("segment:renamed", "post"),
+    ("segment:committed", "post"),
+]
+
+
+class TestCrashSweep:
+    @pytest.mark.parametrize(
+        "step,expected", CRASH_POINTS, ids=[s for s, _ in CRASH_POINTS]
+    )
+    def test_crash_yields_pre_or_post_state(
+        self, tmp_path, oracle, step, expected
+    ):
+        base_id, outcome_id, oracle_payload = oracle
+        service = TopKService(store_dir=tmp_path / "store", durability="none")
+        service.register(small_db())
+
+        plan = FaultPlan([FaultEvent(kind="crash", step=step)])
+        with use_faults(plan):
+            with pytest.raises(SimulatedCrashError):
+                service.clean(base_id, CLEAN_SPEC)
+        assert plan.drawn, f"no disk fault fired at {step}"
+
+        # The "process" died; reopen the directory from scratch.
+        reopened = TopKService(
+            store_dir=tmp_path / "store", durability="none"
+        )
+        assert base_id in reopened.pool
+        if expected == "pre":
+            assert outcome_id not in reopened.pool
+            assert not reopened.store.has_segment(outcome_id)
+            assert reopened.store.journal_records() == []
+        else:
+            assert reopened.store.has_segment(outcome_id)
+            assert reopened.store.pending_cleanings() == []
+            assert_payloads_close(
+                reopened.query(outcome_id, QUERY_SPEC).payload,
+                oracle_payload,
+            )
+
+    def test_crash_before_segment_commit_recovers_by_replay(
+        self, tmp_path, oracle
+    ):
+        # Journal durable, segment missing: the reopened service must
+        # re-execute the journaled spec, and count it as a replay.
+        base_id, outcome_id, oracle_payload = oracle
+        service = TopKService(store_dir=tmp_path / "store", durability="none")
+        service.register(small_db())
+        plan = FaultPlan([FaultEvent(kind="crash", step="segment:begin")])
+        with use_faults(plan):
+            with pytest.raises(SimulatedCrashError):
+                service.clean(base_id, CLEAN_SPEC)
+
+        reopened = TopKService(
+            store_dir=tmp_path / "store", durability="none"
+        )
+        assert reopened.store.counters()["psr_store_replays"] == 1
+        assert reopened.store.has_segment(outcome_id)
+        assert_payloads_close(
+            reopened.query(outcome_id, QUERY_SPEC).payload, oracle_payload
+        )
+
+    def test_torn_segment_write_is_quarantined_then_replayed(
+        self, tmp_path, oracle
+    ):
+        # A torn write renames a truncated segment durably and then
+        # dies: the reopen must detect it, quarantine it, and heal the
+        # snapshot from the journal -- zero silent corruption.
+        base_id, outcome_id, oracle_payload = oracle
+        service = TopKService(store_dir=tmp_path / "store", durability="none")
+        service.register(small_db())
+        plan = FaultPlan([FaultEvent(kind="torn", step="segment:payload")])
+        with use_faults(plan):
+            with pytest.raises(SimulatedCrashError):
+                service.clean(base_id, CLEAN_SPEC)
+
+        reopened = TopKService(
+            store_dir=tmp_path / "store", durability="none"
+        )
+        report = reopened.store.recovery
+        assert [name for name, _ in report.quarantined] == [
+            outcome_id + ".seg"
+        ]
+        assert reopened.store.counters()["psr_store_quarantined"] == 1
+        assert reopened.store.counters()["psr_store_replays"] == 1
+        assert_payloads_close(
+            reopened.query(outcome_id, QUERY_SPEC).payload, oracle_payload
+        )
+
+    def test_torn_journal_append_reverts_to_pre_state(self, tmp_path, oracle):
+        base_id, outcome_id, _ = oracle
+        service = TopKService(store_dir=tmp_path / "store", durability="none")
+        service.register(small_db())
+        plan = FaultPlan([FaultEvent(kind="torn", step="journal:payload")])
+        with use_faults(plan):
+            with pytest.raises(SimulatedCrashError):
+                service.clean(base_id, CLEAN_SPEC)
+
+        reopened = TopKService(
+            store_dir=tmp_path / "store", durability="none"
+        )
+        assert reopened.store.recovery.journal_truncated_bytes > 0
+        assert reopened.store.journal_records() == []
+        assert not reopened.store.has_segment(outcome_id)
+        assert base_id in reopened.pool
+
+    def test_bitflipped_segment_is_caught_at_reopen(self, tmp_path, oracle):
+        # The flip happens in the payload *before* a fully "successful"
+        # write -- the running process never notices.  The next open
+        # must: checksums catch it, quarantine isolates it, replay
+        # regenerates it.
+        base_id, outcome_id, oracle_payload = oracle
+        service = TopKService(store_dir=tmp_path / "store", durability="none")
+        service.register(small_db())
+        plan = FaultPlan([FaultEvent(kind="bitflip", step="segment:payload")])
+        with use_faults(plan):
+            result = service.clean(base_id, CLEAN_SPEC)  # no error!
+        assert result.payload["new_snapshot_id"] == outcome_id
+
+        reopened = TopKService(
+            store_dir=tmp_path / "store", durability="none"
+        )
+        assert len(reopened.store.recovery.quarantined) == 1
+        assert reopened.store.counters()["psr_store_replays"] == 1
+        assert_payloads_close(
+            reopened.query(outcome_id, QUERY_SPEC).payload, oracle_payload
+        )
+
+
+# ---------------------------------------------------------------------------
+# Journal replay failure modes
+# ---------------------------------------------------------------------------
+
+
+class TestReplayFailures:
+    def test_missing_base_raises_typed_error(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store", durability="none")
+        store.journal_clean(
+            "snap-never-registered", CLEAN_SPEC.to_dict(), "snap-out", "hash"
+        )
+        with pytest.raises(JournalReplayError, match="snap-never-registered"):
+            TopKService(store=store)
+
+    def test_tampered_outcome_raises_typed_error(self, tmp_path, oracle):
+        base_id, _, _ = oracle
+        service = TopKService(store_dir=tmp_path / "store", durability="none")
+        service.register(small_db())
+        # A journal record promising an outcome the spec cannot
+        # regenerate: replay must refuse, not serve divergent history.
+        service.store.journal_clean(
+            base_id, CLEAN_SPEC.to_dict(), "snap-forged", "not-a-real-hash"
+        )
+        with pytest.raises(JournalReplayError, match="inconsistent"):
+            TopKService(store_dir=tmp_path / "store", durability="none")
+
+
+# ---------------------------------------------------------------------------
+# Real process death (SIGKILL) and recovery in a fresh process
+# ---------------------------------------------------------------------------
+
+_CHILD_SCRIPT = """
+import sys
+from repro.api.service import TopKService
+from repro.api.specs import CleaningSpec
+from repro.db import io
+
+db = io.load_json(sys.argv[1])
+service = TopKService(store_dir=sys.argv[2])
+base = service.register(db).snapshot_id
+service.clean(base, CleaningSpec(k=5, budget=40, execute=True, seed=7))
+print("UNREACHABLE")  # the injected kill must have fired by now
+"""
+
+
+class TestKillAndRestart:
+    def test_sigkill_mid_write_recovers_in_a_fresh_process(
+        self, tmp_path, oracle
+    ):
+        base_id, outcome_id, oracle_payload = oracle
+        db_path = tmp_path / "db.json"
+        io.save_json(small_db(), db_path)
+        store_dir = tmp_path / "store"
+
+        # skip=1: the child's base registration writes the first
+        # segment cleanly; the kill hits the *outcome* segment write,
+        # after the journal append.
+        plan = FaultPlan(
+            [FaultEvent(kind="kill", step="segment:written", skip=1)]
+        )
+        env = dict(os.environ)
+        env["REPRO_FAULTS"] = json.dumps(plan.to_dict())
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parent.parent / "src"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", _CHILD_SCRIPT, str(db_path), str(store_dir)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        assert "UNREACHABLE" not in proc.stdout
+
+        # Fresh process (this one) reopens the directory: the base
+        # must be durable, the outcome regenerated from the journal,
+        # and the recovered top-k identical to the oracle's.
+        service = TopKService(store_dir=store_dir)
+        assert base_id in service.pool
+        assert service.store.has_segment(outcome_id)
+        assert service.store.counters()["psr_store_replays"] == 1
+        assert_payloads_close(
+            service.query(outcome_id, QUERY_SPEC).payload, oracle_payload
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI integration
+# ---------------------------------------------------------------------------
+
+
+class TestCliStore:
+    def test_store_flag_persists_and_status_reports(self, tmp_path, oracle):
+        from repro.cli import main
+
+        base_id, outcome_id, _ = oracle
+        db_path = tmp_path / "db.json"
+        io.save_json(small_db(), db_path)
+        store_dir = tmp_path / "store"
+
+        assert (
+            main(
+                [
+                    "clean",
+                    "--db",
+                    str(db_path),
+                    "-k",
+                    str(K),
+                    "--budget",
+                    "40",
+                    "--execute",
+                    "--execute-seed",
+                    "7",
+                    "--store",
+                    str(store_dir),
+                    "--json",
+                    str(tmp_path / "clean.json"),
+                ]
+            )
+            == 0
+        )
+        envelope = json.loads((tmp_path / "clean.json").read_text())
+        assert envelope["result"]["payload"]["new_snapshot_id"] == outcome_id
+        assert envelope["result"]["counters"]["psr_store_writes"] == 1
+
+        assert (
+            main(
+                [
+                    "store",
+                    "--dir",
+                    str(store_dir),
+                    "--json",
+                    str(tmp_path / "status.json"),
+                ]
+            )
+            == 0
+        )
+        status = json.loads((tmp_path / "status.json").read_text())["status"]
+        assert sorted(status["snapshots"]) == sorted((base_id, outcome_id))
+        assert status["journal_records"] == 1
+        assert status["pending_cleanings"] == []
+        assert status["quarantined_files"] == []
+
+    def test_query_over_a_recovered_store(self, tmp_path, oracle, capsys):
+        from repro.cli import main
+
+        base_id, _, _ = oracle
+        db_path = tmp_path / "db.json"
+        io.save_json(small_db(), db_path)
+        store_dir = tmp_path / "store"
+        assert (
+            main(
+                ["query", "--db", str(db_path), "-k", str(K), "--store", str(store_dir)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # Second invocation recovers the snapshot from disk before the
+        # (idempotent) registration -- same id, same answers.
+        assert (
+            main(
+                ["query", "--db", str(db_path), "-k", str(K), "--store", str(store_dir)]
+            )
+            == 0
+        )
+        assert "PWS-quality" in capsys.readouterr().out
