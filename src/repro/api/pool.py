@@ -53,7 +53,7 @@ from repro.exceptions import (
     UnknownSnapshotError,
 )
 from repro.queries.engine import QuerySession
-from repro.store import SnapshotStore
+from repro.store import RetentionPolicy, SnapshotStore
 
 #: Default bound on concurrently cached sessions.
 DEFAULT_MAX_SESSIONS = 8
@@ -109,6 +109,15 @@ class SessionPool:
         segment durably **before** publishing the in-memory entry, so
         memory and disk can never disagree: a snapshot the pool serves
         is on disk, and a failed write publishes nothing.
+    retention:
+        Optional :class:`~repro.store.RetentionPolicy` bounding the
+        *durable* segment set.  When set (and a store is attached),
+        every durable registration triggers :meth:`sweep_store`:
+        segments beyond ``keep_last_n`` are tombstoned and reclaimed
+        by the store's two-phase GC, except pinned ids and anything
+        currently leased or warm in the session cache.  ``None`` (the
+        default) keeps every segment forever -- the pre-retention
+        behaviour, unchanged.
     """
 
     def __init__(
@@ -120,6 +129,7 @@ class SessionPool:
         max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
         admission_timeout_ms: float = DEFAULT_ADMISSION_TIMEOUT_MS,
         store: Optional[SnapshotStore] = None,
+        retention: Optional[RetentionPolicy] = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
@@ -151,7 +161,11 @@ class SessionPool:
         self._snapshots: Dict[str, RankedDatabase] = {}
         self._snapshot_locks: Dict[str, OrderedLock] = {}
         self._sessions: "OrderedDict[str, QuerySession]" = OrderedDict()
+        #: Live lease counts per snapshot id (guarded by the pool
+        #: lock); these ids are always protected from segment GC.
+        self._leased: Dict[str, int] = {}
         self.store = store
+        self.retention = retention
         if store is not None:
             self._adopt_store(store)
         #: Lease-level cache telemetry (guarded by the pool lock).
@@ -233,6 +247,8 @@ class SessionPool:
             # ranks below the registry lock, and a slow disk must not
             # block unrelated leases.  The store serializes itself.
             self.store.persist(snapshot_id, ranked)
+            if self.retention is not None:
+                self.sweep_store()
         incoming = ranked.ranking if ranked is not None else self.ranking
         with self._lock:
             stored = self._snapshots.get(snapshot_id)
@@ -339,11 +355,20 @@ class SessionPool:
                 ) from None
         self._admit()
         try:
+            with self._lock:
+                self._leased[snapshot_id] = (
+                    self._leased.get(snapshot_id, 0) + 1
+                )
             with snapshot_lock:
                 yield self._leased_session(snapshot_id, ranked)
         finally:
             with self._lock:
                 self.in_flight -= 1
+                remaining = self._leased.get(snapshot_id, 1) - 1
+                if remaining <= 0:
+                    self._leased.pop(snapshot_id, None)
+                else:
+                    self._leased[snapshot_id] = remaining
             self._admission.release()
 
     def _leased_session(
@@ -372,6 +397,34 @@ class SessionPool:
         """Drop every memoized session (snapshots stay registered)."""
         with self._lock:
             self._sessions.clear()
+
+    # ------------------------------------------------------------------
+    # Store retention
+    # ------------------------------------------------------------------
+    def sweep_store(self) -> Optional[Dict[str, object]]:
+        """Apply the retention policy to the backing store.
+
+        Tombstones segments beyond ``retention.keep_last_n`` (the
+        store's two-phase GC), protecting pinned ids plus every
+        snapshot currently leased or warm in the session LRU, then
+        checkpoints the journal so reclaimed files are actually
+        unlinked.  Registered-but-cold snapshots stay servable from
+        memory for this process's lifetime; only their *durable* copy
+        is retired.  Returns the GC report, or ``None`` when no store
+        or no retention policy is attached.
+
+        Called automatically after each durable registration when a
+        retention policy is set; safe to call explicitly (the CLI's
+        ``repro store gc`` goes through the store directly).
+        """
+        if self.store is None or self.retention is None:
+            return None
+        with self._lock:
+            in_use = set(self._leased) | set(self._sessions)
+        report = self.store.gc(self.retention, in_use=in_use)
+        if report.get("tombstoned"):
+            self.store.checkpoint()
+        return report
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

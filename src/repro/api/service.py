@@ -25,7 +25,16 @@ from __future__ import annotations
 import random
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from pathlib import Path
 
@@ -58,7 +67,7 @@ from repro.db.database import ProbabilisticDatabase, RankedDatabase
 from repro.db.ranking import RankingFunction
 from repro.exceptions import InvalidSpecError, JournalReplayError
 from repro.queries.engine import QuerySession
-from repro.store import SnapshotStore
+from repro.store import RetentionPolicy, SnapshotStore
 
 _PLANNERS: Dict[str, type] = {
     "dp": DPCleaner,
@@ -110,7 +119,9 @@ class TopKService:
         Durable persistence.  ``store`` attaches an existing
         :class:`~repro.store.SnapshotStore`; ``store_dir`` opens (or
         creates) one at that directory with the given ``durability``
-        (``"fsync"`` default, ``"none"`` for tests).  Either way the
+        (``"strict"``/``"fsync"`` default, ``"batch"`` for
+        group-committed journal fsyncs, ``"none"`` for tests).  Either
+        way the
         store's recovered snapshots seed the pool, every registration
         persists before publishing, executed cleanings are
         write-ahead journaled, and pending journal records are
@@ -120,6 +131,13 @@ class TopKService:
         :class:`~repro.exceptions.JournalReplayError`).  Forwarded to
         the private pool only; a caller-supplied ``pool`` brings its
         own store (or none).
+    keep_last_n / pinned:
+        Durable retention knobs (require a store): together they form
+        the :class:`~repro.store.RetentionPolicy` the private pool
+        sweeps with after each durable registration -- segments beyond
+        the newest ``keep_last_n`` are reclaimed through the store's
+        two-phase GC, except ``pinned`` ids and anything leased or
+        warm.  Omitted, every segment is kept forever.
     """
 
     def __init__(
@@ -134,6 +152,8 @@ class TopKService:
         store: Optional[SnapshotStore] = None,
         store_dir: Optional[Union[str, Path]] = None,
         durability: Optional[str] = None,
+        keep_last_n: Optional[int] = None,
+        pinned: Sequence[str] = (),
     ) -> None:
         if pool is not None and (
             ranking is not None
@@ -145,21 +165,37 @@ class TopKService:
             or store is not None
             or store_dir is not None
             or durability is not None
+            or keep_last_n is not None
+            or tuple(pinned)
         ):
             raise ValueError(
                 "pass ranking/backend/max_sessions/workers/max_in_flight/"
-                "admission_timeout_ms/store/store_dir/durability only when "
-                "the service creates its own pool"
+                "admission_timeout_ms/store/store_dir/durability/"
+                "keep_last_n/pinned only when the service creates its "
+                "own pool"
             )
         if store is not None and store_dir is not None:
             raise ValueError("pass either store or store_dir, not both")
         if durability is not None and store_dir is None:
             raise ValueError("durability only applies with store_dir")
+        if (keep_last_n is not None or tuple(pinned)) and (
+            store is None and store_dir is None
+        ):
+            raise ValueError(
+                "keep_last_n / pinned require a store or store_dir"
+            )
         if pool is None:
             if store_dir is not None:
                 store = SnapshotStore(
                     store_dir, durability=durability or "fsync"
                 )
+            retention = (
+                RetentionPolicy(
+                    keep_last_n=keep_last_n, pinned=tuple(pinned)
+                )
+                if keep_last_n is not None or tuple(pinned)
+                else None
+            )
             kwargs: Dict[str, Any] = {}
             if max_sessions is not None:
                 kwargs["max_sessions"] = max_sessions
@@ -172,6 +208,7 @@ class TopKService:
                 backend=backend,
                 workers=workers,
                 store=store,
+                retention=retention,
                 **kwargs,
             )
         self.pool = pool

@@ -26,8 +26,14 @@ Commands:
     expected improvement, optionally simulate execution and write the
     cleaned database.
 ``store``
-    Inspect a snapshot store directory: recovered snapshots, journal
-    backlog, quarantined files and counters.
+    Inspect and maintain a snapshot store directory.  ``status`` (the
+    default action, read-only next to a live writer) reports recovered
+    snapshots, journal backlog and bytes, segment bytes, tombstones,
+    the cross-process lock holder, quarantined files and counters;
+    ``compact`` checkpoints the write-ahead journal; ``gc`` applies a
+    ``--keep-last-n`` / ``--pin`` retention policy through the store's
+    two-phase delete; ``unlock --force`` clears a stale lock record
+    left by a dead writer.
 
 ``quality`` / ``query`` / ``clean`` accept ``--store DIR`` to serve
 over a crash-safe :class:`~repro.store.SnapshotStore`: snapshots are
@@ -258,17 +264,27 @@ def cmd_clean(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_store(args: argparse.Namespace) -> int:
-    """``repro store``: report a snapshot store directory's health."""
-    from repro.store import SnapshotStore
-
-    store = SnapshotStore(args.dir, durability="none")
-    status = store.status()
+def _print_store_status(status: Dict[str, Any]) -> None:
     print(f"store {status['root']}:")
     print(f"  snapshots: {len(status['snapshots'])}")
     for snapshot_id in status["snapshots"]:
         print(f"    {snapshot_id}")
-    print(f"  journal records: {status['journal_records']}")
+    print(
+        f"  journal: {status['journal_records']} records, "
+        f"{status['journal_bytes']} bytes"
+    )
+    print(
+        f"  segments: {status['segment_files']} files, "
+        f"{status['segment_bytes']} bytes"
+    )
+    if status["tombstones"]:
+        print(f"  tombstones awaiting unlink: {status['tombstones']}")
+    holder = status.get("lock_holder")
+    if holder is not None:
+        liveness = {True: "alive", False: "dead", None: "unknown"}[
+            holder.get("alive")
+        ]
+        print(f"  lock holder: pid {holder.get('pid')} ({liveness})")
     if status["pending_cleanings"]:
         print(f"  pending cleanings: {status['pending_cleanings']}")
     if status["quarantined_files"]:
@@ -281,11 +297,108 @@ def cmd_store(args: argparse.Namespace) -> int:
         )
     if recovery["swept_temp_files"]:
         print(f"  swept temp files: {recovery['swept_temp_files']}")
-    if args.json is not None:
-        envelope = {"command": "store", "status": status}
-        with open(args.json, "w", encoding="utf-8") as f:
-            json.dump(envelope, f, indent=2)
-            f.write("\n")
+
+
+def _write_store_envelope(
+    json_path: Optional[str], envelope: Dict[str, Any]
+) -> None:
+    if json_path is None:
+        return
+    with open(json_path, "w", encoding="utf-8") as f:
+        json.dump(envelope, f, indent=2)
+        f.write("\n")
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """``repro store [status|compact|gc|unlock]``: maintain a store.
+
+    ``status`` (the default) opens the directory *read-only* (shared
+    lock, no repairs) and reports its health.  ``compact`` checkpoints
+    the journal, dropping records whose segments are durably committed
+    and unlinking tombstoned files.  ``gc`` applies a retention policy
+    (``--keep-last-n`` / ``--pin``) through the store's two-phase
+    delete, then checkpoints so the reclaim actually happens.
+    ``unlock`` reports the recorded cross-process lock holder and,
+    with ``--force``, clears a stale record (a verifiably live holder
+    is never broken).  Every action writes a JSON envelope with
+    ``--json``; lock contention surfaces as the typed
+    ``StoreLockedError`` error envelope, exit 1.
+    """
+    from repro.store import RetentionPolicy, SnapshotStore, StoreLock
+
+    action = args.action
+    if action == "unlock":
+        lock = StoreLock(args.dir)
+        holder = lock.holder()
+        if args.force:
+            report = lock.force_break()
+            broken = report["broken"]
+            holder = report["holder"]
+            print(
+                "lock record cleared"
+                if broken
+                else "lock record NOT cleared (holder is alive)"
+            )
+        else:
+            broken = False
+            print(
+                "no lock record"
+                if holder is None
+                else f"lock record: pid {holder.get('pid')} "
+                f"(alive={holder.get('alive')}); re-run with --force "
+                f"to clear a stale record"
+            )
+        _write_store_envelope(
+            args.json,
+            {
+                "command": "store",
+                "action": "unlock",
+                "broken": broken,
+                "holder": holder,
+            },
+        )
+        return 0
+
+    if action == "status":
+        store = SnapshotStore(args.dir, durability="none", mode="readonly")
+        status = store.status()
+        _print_store_status(status)
+        _write_store_envelope(
+            args.json,
+            {"command": "store", "action": "status", "status": status},
+        )
+        return 0
+
+    store = SnapshotStore(args.dir, durability="fsync")
+    if action == "compact":
+        report = store.checkpoint()
+        print(
+            f"checkpoint: {report['records_before']} -> "
+            f"{report['records_after']} journal records "
+            f"({report['journal_bytes']} bytes), "
+            f"{len(report['unlinked'])} segment files unlinked"
+        )
+    else:  # gc
+        policy = RetentionPolicy(
+            keep_last_n=args.keep_last_n, pinned=tuple(args.pin)
+        )
+        report = store.gc(policy)
+        checkpoint = store.checkpoint()
+        report = {"gc": report, "checkpoint": checkpoint}
+        print(
+            f"gc: {len(report['gc']['tombstoned'])} segments tombstoned, "
+            f"{len(checkpoint['unlinked'])} files unlinked, "
+            f"{len(report['gc']['live'])} live"
+        )
+    _write_store_envelope(
+        args.json,
+        {
+            "command": "store",
+            "action": action,
+            "report": report,
+            "status": store.status(),
+        },
+    )
     return 0
 
 
@@ -398,10 +511,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     s = sub.add_parser(
         "store",
-        help="inspect a snapshot store directory (opening performs recovery)",
+        help="inspect / maintain a snapshot store directory",
+    )
+    s.add_argument(
+        "action",
+        nargs="?",
+        default="status",
+        choices=("status", "compact", "gc", "unlock"),
+        help="status (default, read-only), compact the journal, "
+        "gc segments by retention policy, or clear a stale lock record",
     )
     s.add_argument("--dir", required=True, help="store directory")
-    s.add_argument("--json", help="write the status envelope here")
+    s.add_argument("--json", help="write the action's envelope here")
+    s.add_argument(
+        "--keep-last-n",
+        type=int,
+        default=None,
+        help="gc: keep only the newest N segments (plus pins)",
+    )
+    s.add_argument(
+        "--pin",
+        action="append",
+        default=[],
+        metavar="SNAPSHOT_ID",
+        help="gc: never collect this snapshot (repeatable)",
+    )
+    s.add_argument(
+        "--force",
+        action="store_true",
+        help="unlock: clear a stale lock record (live holders refuse)",
+    )
     s.set_defaults(fn=cmd_store)
 
     return parser

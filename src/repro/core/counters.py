@@ -45,11 +45,19 @@ SESSION_COUNTERS: Tuple[str, ...] = (
 #: façade surfaces them as per-request deltas next to the session
 #: counters whenever the pool is store-backed, so replays and
 #: quarantines are visible in result envelopes (and the CLI's JSON
-#: output) without log access.
+#: output) without log access.  The multi-writer counters follow:
+#: journal checkpoints performed, segment files reclaimed by two-phase
+#: GC, contended cross-process lock acquisitions (a first non-blocking
+#: attempt failed and the bounded wait ran), and coalesced group-commit
+#: journal flushes (``durability="batch"`` only).
 STORE_COUNTERS: Tuple[str, ...] = (
     "psr_store_writes",
     "psr_store_replays",
     "psr_store_quarantined",
+    "psr_store_compactions",
+    "psr_store_gc_unlinks",
+    "psr_store_lock_waits",
+    "psr_store_group_flushes",
 )
 
 #: Counter names with the ``psr_`` prefix REP007 polices.

@@ -19,8 +19,18 @@ The declared hierarchy (outermost first)::
     RANK_ADMISSION      SessionPool admission semaphore
     RANK_SNAPSHOT       per-snapshot session locks
     RANK_STORE          SnapshotStore directory lock
+    RANK_STORE_FILE     cross-process store file lock (fcntl.flock)
     RANK_POOL_REGISTRY  SessionPool bookkeeping lock
     RANK_WORKER_POOL    core.parallel worker-pool lifecycle lock
+
+The cross-process file lock is not a ``threading`` primitive -- it is
+an ``fcntl.flock`` on the store root, owned by
+:mod:`repro.store.locks` (this module must stay fcntl-free; REP012
+scopes all fcntl use to ``repro.store``).  It still participates in
+the hierarchy through :func:`check_acquirable` / :func:`note_acquired`
+/ :func:`note_released`, so a thread that takes the file lock while
+holding a lock that ranks above it fails loudly in debug mode exactly
+like a misordered mutex would.
 
 With tracking disabled (the default), :class:`OrderedLock` and
 :class:`OrderedSemaphore` delegate straight to their ``threading``
@@ -41,6 +51,7 @@ from repro.exceptions import LockOrderError
 RANK_ADMISSION = 10
 RANK_SNAPSHOT = 20
 RANK_STORE = 25
+RANK_STORE_FILE = 27
 RANK_POOL_REGISTRY = 30
 RANK_WORKER_POOL = 40
 
@@ -117,6 +128,35 @@ def _forget(token: int) -> None:
         if stack[i][2] == token:
             del stack[i]
             return
+
+
+# ---------------------------------------------------------------------------
+# Participation hooks for non-threading locks (the store's file lock)
+# ---------------------------------------------------------------------------
+
+
+def check_acquirable(rank: int, name: str, token: int) -> None:
+    """Order-check an acquisition of an external (non-threading) lock.
+
+    Raises :class:`~repro.exceptions.LockOrderError` in debug mode when
+    the calling thread already holds a lock of rank ``>= rank`` (or the
+    same ``token``); a no-op with tracking disabled.  Call *before*
+    blocking on the external primitive.
+    """
+    if _enabled:
+        _check_order(rank, name, token)
+
+
+def note_acquired(rank: int, name: str, token: int) -> None:
+    """Record a successful external-lock acquisition on this thread."""
+    if _enabled:
+        _record(rank, name, token)
+
+
+def note_released(token: int) -> None:
+    """Drop an external lock from the calling thread's holdings."""
+    if _enabled:
+        _forget(token)
 
 
 class OrderedLock:

@@ -115,6 +115,33 @@ class CorruptSnapshotError(StoreError):
     """
 
 
+class StoreLockedError(StoreError):
+    """Another process holds the store's cross-process lock.
+
+    Raised when acquiring the advisory ``fcntl.flock`` lock on a store
+    root (:mod:`repro.store.locks`) did not succeed within the bounded
+    wait -- the request's scoped deadline or the store's configured
+    ``lock_timeout_ms``, whichever is tighter.  The caller observes a
+    typed, fast failure instead of corrupting the directory or
+    queueing unboundedly behind a foreign writer; the error message
+    names the recorded holder (PID and liveness) so an operator can
+    decide between waiting, opening read-only, and
+    ``repro store unlock --force``.
+    """
+
+
+class StoreReadOnlyError(StoreError):
+    """A mutation was attempted on a read-only store handle.
+
+    Raised by :class:`~repro.store.SnapshotStore` opened with
+    ``mode="readonly"`` (a shared-lock reader: status tooling, a
+    process that lost the writer election) when ``persist``,
+    ``journal_clean``, ``checkpoint`` or ``gc`` is called.  Read-only
+    handles never repair, never sweep and never append -- they cannot
+    corrupt a directory another process is writing.
+    """
+
+
 class JournalReplayError(StoreError):
     """A write-ahead journal record could not be replayed.
 

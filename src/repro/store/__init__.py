@@ -8,34 +8,53 @@ between the data layer and the serving layer -- it imports
 :mod:`repro.api`; it never imports the serving layer back.
 
 * :mod:`repro.store.format` -- the pure byte codec: checksummed
-  segment frames and length-prefixed journal records.
+  segment frames, length-prefixed journal records, and the lock-file
+  holder record.
+* :mod:`repro.store.locks` -- :class:`StoreLock`: the cross-process
+  advisory ``fcntl.flock`` on the store root (bounded wait, stale-
+  holder detection, ``unlock --force``).  All ``fcntl`` use in the
+  codebase lives here (lint rule REP012).
 * :mod:`repro.store.store` -- :class:`SnapshotStore`: atomic segment
-  writes, the write-ahead cleaning journal, and recovery-on-open with
-  quarantine of anything that fails verification.
+  writes, the write-ahead cleaning journal, journal checkpoint /
+  compaction, retention-policy GC with two-phase deletes, group
+  commit, and recovery-on-open with quarantine of anything that fails
+  verification.
 
 See the README's "Durability & crash recovery" section for the
 operational story.
 """
 
 from repro.store.format import MAGIC, SCHEMA_VERSION
+from repro.store.locks import (
+    DEFAULT_LOCK_TIMEOUT_MS,
+    LOCK_FILE_NAME,
+    StoreLock,
+)
 from repro.store.store import (
+    JOURNAL_MAX_RECORDS_ENV,
     JOURNAL_NAME,
     SEGMENT_SUFFIX,
     TMP_PREFIX,
     RecoveryReport,
+    RetentionPolicy,
     SnapshotStore,
     stranded_temp_files,
     tracked_store_roots,
 )
 
 __all__ = [
+    "DEFAULT_LOCK_TIMEOUT_MS",
+    "JOURNAL_MAX_RECORDS_ENV",
     "JOURNAL_NAME",
+    "LOCK_FILE_NAME",
     "MAGIC",
     "SCHEMA_VERSION",
     "SEGMENT_SUFFIX",
     "TMP_PREFIX",
     "RecoveryReport",
+    "RetentionPolicy",
     "SnapshotStore",
+    "StoreLock",
     "stranded_temp_files",
     "tracked_store_roots",
 ]

@@ -32,6 +32,29 @@ A record is only as durable as its frame: the reader accepts the
 longest clean prefix of frames and reports where (and why) it stopped,
 which is exactly the truncate-the-torn-tail semantics the write-ahead
 log needs.
+
+Journal record kinds (the ``"kind"`` field of the JSON payload):
+
+``"clean"``
+    An executed cleaning outcome -- base snapshot, full spec, outcome
+    id and content hash -- appended *before* the outcome segment is
+    written (the write-ahead contract).
+``"tombstone"``
+    Phase one of the two-phase segment delete: the named segment is
+    logically dead (retention/GC chose it) but its file may still be
+    on disk.  Recovery skips loading tombstoned segments; the unlink
+    happens only after the *next* successful journal checkpoint has
+    made the tombstone durable, so a crash anywhere in between leaves
+    either a durable tombstone (file ignored, swept later) or the
+    pre-GC state -- never a half-deleted store.
+
+**Lock records** are the single JSON line inside ``store.lock``:
+holder PID, the host's boot nonce, the mode, plus a CRC over the
+payload so a torn write is detected, not misread.  The record is
+advisory bookkeeping *about* the flock holder -- the kernel lock
+itself, not this record, is the mutual exclusion -- which is why
+:func:`decode_lock_record` returns ``None`` on any damage instead of
+raising: a broken record only costs diagnostics.
 """
 
 from __future__ import annotations
@@ -40,7 +63,7 @@ import hashlib
 import json
 import struct
 import zlib
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import CorruptSnapshotError
 
@@ -206,6 +229,18 @@ def encode_journal_record(payload: Mapping[str, Any]) -> bytes:
     return _U32.pack(len(blob)) + _U32.pack(_crc(blob)) + blob
 
 
+def encode_journal(records: Sequence[Mapping[str, Any]]) -> bytes:
+    """Encode a whole journal: the concatenated frames of ``records``.
+
+    The checkpoint/compaction path rewrites the journal through this
+    (encode the surviving records fully in memory, write to a temp
+    sibling, fsync, rename) so the same atomic-replacement discipline
+    that protects segments protects the compacted journal: a crash at
+    any point leaves the complete old journal or the complete new one.
+    """
+    return b"".join(encode_journal_record(record) for record in records)
+
+
 def decode_journal(
     data: bytes,
 ) -> Tuple[List[Dict[str, Any]], int, str]:
@@ -242,3 +277,46 @@ def decode_journal(
         records.append(record)
         offset = start + length
     return records, offset, ""
+
+
+# ---------------------------------------------------------------------------
+# Lock records
+# ---------------------------------------------------------------------------
+
+#: Lock-record schema version (inside the JSON payload).
+LOCK_SCHEMA = 1
+
+
+def encode_lock_record(payload: Mapping[str, Any]) -> bytes:
+    """Encode the lock file's holder record: ``u32 crc | JSON | \\n``.
+
+    ``payload`` carries the holder's identity (pid, boot nonce, mode);
+    the schema version is stamped here so decoders can refuse layouts
+    they do not know.
+    """
+    body = dict(payload)
+    body["schema"] = LOCK_SCHEMA
+    blob = _canonical_json(body)
+    return _U32.pack(_crc(blob)) + blob + b"\n"
+
+
+def decode_lock_record(data: bytes) -> Optional[Dict[str, Any]]:
+    """Decode a lock file's bytes; ``None`` on any damage.
+
+    Unlike segments and journal frames, a broken lock record is
+    *benign* -- the flock, not the record, is the mutual exclusion --
+    so damage degrades to "holder unknown" rather than an error.
+    """
+    if len(data) < _U32.size + 1 or not data.endswith(b"\n"):
+        return None
+    (crc,) = _U32.unpack_from(data, 0)
+    blob = data[_U32.size : -1]
+    if _crc(blob) != crc:
+        return None
+    try:
+        record = json.loads(blob)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict) or record.get("schema") != LOCK_SCHEMA:
+        return None
+    return record

@@ -5,6 +5,7 @@
     <root>/
         segments/<snapshot-id>.seg   one verified segment per snapshot
         journal.wal                  write-ahead log of cleaning outcomes
+        store.lock                   cross-process advisory lock file
         quarantine/                  segments that failed verification
 
 and guarantees, under any crash at any point of its write protocols,
@@ -32,27 +33,86 @@ the regenerated content hash against the journaled one.  A torn tail
 (crash mid-append) is truncated back out; the journal is the WAL, so
 losing an un-fsynced tail record merely reverts to pre-state.
 
+**Multi-process safety.**  Every operation that reads or writes the
+directory holds the cross-process advisory lock
+(:class:`repro.store.locks.StoreLock`): exclusive for recovery and
+every mutation, shared for ``mode="readonly"`` opens.  Two processes
+hammering one root therefore interleave *whole operations*; a process
+that cannot get the lock within its bounded wait sheds with the typed
+:class:`~repro.exceptions.StoreLockedError` instead of corrupting the
+directory or queueing forever.  Because the lock is taken per
+operation (not per handle lifetime), ``checkpoint`` and ``gc`` re-read
+the journal and the segment directory from disk under the lock rather
+than trusting this handle's in-memory mirror -- another process may
+have written between our operations; segment content-addressing makes
+``persist`` naturally idempotent across processes.
+
+**Checkpoint / compaction** (:meth:`SnapshotStore.checkpoint`) bounds
+the journal: records whose outcome segment is durably committed and
+verified are dropped, the survivors are rewritten through the same
+atomic temp+fsync+rename discipline as segments, and a crash at any
+step leaves the complete old journal or the complete new one.
+:meth:`SnapshotStore.maybe_checkpoint` triggers it automatically past
+``max_journal_records`` (or ``REPRO_JOURNAL_MAX_RECORDS``).
+
+**Segment GC** (:meth:`SnapshotStore.gc`) applies a
+:class:`RetentionPolicy` with a *two-phase delete*: phase one appends
+a durable ``tombstone`` journal record (the segment is logically dead;
+recovery stops loading it), phase two unlinks the file only after the
+next successful checkpoint has made the tombstone durable.  A crash
+between the phases leaves either the pre-GC state or a durable
+tombstone whose file is swept by the next checkpoint -- never a
+half-deleted store.
+
+**Group commit** (``durability="batch"``) coalesces *journal* fsyncs:
+appends mark the journal dirty and a single fsync covers every append
+in a flush interval.  Reads (:meth:`journal_records`,
+:meth:`pending_cleanings`, :meth:`status`), ``checkpoint`` and
+``persist`` are flush barriers -- in particular the barrier in
+``persist`` preserves the write-ahead ordering (the journal record is
+durable before its outcome segment commits).  ``"strict"`` (alias
+``"fsync"``, the default) keeps the one-fsync-per-append semantics
+bit-identically.
+
 Fault injection: every named step of the write / read protocols calls
 :func:`repro.testing.faults.draw_disk_fault`, so the crash-atomicity
 property above is *tested at every step*, not asserted.  With no plan
 armed the hook is a single ``None`` check.  Injected
 :class:`~repro.exceptions.SimulatedCrashError` deliberately skips all
 cleanup (``except`` clauses here catch ``OSError`` only) -- a real
-power cut runs no handlers either.
+power cut runs no handlers either.  The lock context managers *do*
+release the flock on the way out: that mirrors the kernel, which drops
+a dead process's flock automatically.
 
 Step names (patterns for :class:`~repro.testing.faults.FaultEvent`):
 ``segment:begin``, ``segment:payload``, ``segment:written``,
 ``segment:synced``, ``segment:renamed``, ``segment:committed``,
 ``journal:begin``, ``journal:payload``, ``journal:written``,
-``journal:synced``, ``segment:read``.
+``journal:synced``, ``segment:read``, ``lock:acquire``,
+``checkpoint:begin``, ``checkpoint:payload``, ``checkpoint:written``,
+``checkpoint:synced``, ``checkpoint:renamed``,
+``checkpoint:committed``, ``gc:tombstone``, ``gc:unlink``.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Set, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -65,14 +125,17 @@ from repro.exceptions import (
     CorruptSnapshotError,
     InvalidDatabaseError,
     SimulatedCrashError,
+    StoreReadOnlyError,
     StoreWriteError,
 )
 from repro.store.format import (
     decode_journal,
     decode_segment,
+    encode_journal,
     encode_journal_record,
     encode_segment,
 )
+from repro.store.locks import StoreLock
 from repro.testing.faults import (
     draw_disk_fault,
     execute_disk_fault,
@@ -92,6 +155,12 @@ JOURNAL_NAME = "journal.wal"
 
 #: Journal record schema version.
 JOURNAL_SCHEMA = 1
+
+#: Environment knob for the automatic checkpoint threshold (records).
+JOURNAL_MAX_RECORDS_ENV = "REPRO_JOURNAL_MAX_RECORDS"
+
+#: Default group-commit flush interval, in milliseconds.
+DEFAULT_FLUSH_INTERVAL_MS = 50.0
 
 _SEGMENTS_DIR = "segments"
 _QUARANTINE_DIR = "quarantine"
@@ -120,13 +189,32 @@ def stranded_temp_files() -> List[Path]:
     return stranded
 
 
+def default_max_journal_records() -> Optional[int]:
+    """The environment's auto-checkpoint threshold, or ``None``.
+
+    ``REPRO_JOURNAL_MAX_RECORDS`` must be a positive integer; anything
+    else (including absence) disables automatic checkpointing -- an
+    explicit :meth:`SnapshotStore.checkpoint` always works.
+    """
+    raw = os.environ.get(JOURNAL_MAX_RECORDS_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
 def _disk_step(step: str) -> Optional[Dict[str, Any]]:
     """Fire any armed fault at ``step``; returns data-kind directives.
 
     Raising kinds (``crash`` / ``enospc``) raise out of
     :func:`~repro.testing.faults.execute_disk_fault`; ``kill`` never
-    returns.  Data-transforming directives (``torn`` / ``bitflip`` /
-    ``shortread``) come back for the caller to apply to its bytes.
+    returns and ``contend`` runs its second process to completion
+    before returning.  Data-transforming directives (``torn`` /
+    ``bitflip`` / ``shortread``) come back for the caller to apply to
+    its bytes.
     """
     directive = draw_disk_fault(step)
     if directive is not None:
@@ -147,6 +235,29 @@ def _apply_corruption(
 
 
 @dataclass(frozen=True)
+class RetentionPolicy:
+    """How many segments :meth:`SnapshotStore.gc` should keep.
+
+    ``keep_last_n`` keeps the N most recently written live segments
+    (by file modification time; ``None`` keeps everything -- GC is a
+    no-op).  ``pinned`` segments are never collected regardless of
+    age.  Base and outcome segments of journal records that have not
+    yet been checkpointed away, and anything the caller reports as in
+    use, are always protected on top of this policy.
+    """
+
+    keep_last_n: Optional[int] = None
+    pinned: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.keep_last_n is not None and self.keep_last_n < 0:
+            raise ValueError(
+                f"keep_last_n must be >= 0 or None, got {self.keep_last_n!r}"
+            )
+        object.__setattr__(self, "pinned", tuple(self.pinned))
+
+
+@dataclass(frozen=True)
 class RecoveryReport:
     """What one :class:`SnapshotStore` open found and repaired.
 
@@ -155,14 +266,21 @@ class RecoveryReport:
     loaded:
         Snapshot ids whose segments verified and were adopted.
     quarantined:
-        ``(file name, reason)`` per segment moved to ``quarantine/``.
+        ``(file name, reason)`` per segment that failed verification.
+        Exclusive opens move the file to ``quarantine/``; read-only
+        opens only *detect* (the entry is reported, the file stays).
     swept_temp_files:
-        In-flight temp files from a previous crash that were removed.
+        In-flight temp files from a previous crash that were removed
+        (always zero for read-only opens, which never repair).
     journal_records:
         Clean journal records parsed (pending or not).
     journal_truncated_bytes / journal_truncate_reason:
         Size and cause of the torn journal tail that was truncated
-        away (zero / empty when the journal was clean).
+        away (zero / empty when the journal was clean; read-only opens
+        report the torn tail without truncating the file).
+    tombstoned_segments:
+        Segment files skipped because a journal tombstone marks them
+        logically deleted (two-phase GC awaiting its unlink).
     """
 
     loaded: Tuple[str, ...]
@@ -171,6 +289,7 @@ class RecoveryReport:
     journal_records: int
     journal_truncated_bytes: int
     journal_truncate_reason: str
+    tombstoned_segments: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain JSON encoding (the CLI status envelope shape)."""
@@ -181,46 +300,87 @@ class RecoveryReport:
             "journal_records": self.journal_records,
             "journal_truncated_bytes": self.journal_truncated_bytes,
             "journal_truncate_reason": self.journal_truncate_reason,
+            "tombstoned_segments": self.tombstoned_segments,
         }
 
 
 class SnapshotStore:
     """Durable, content-hash-addressed storage of ranked snapshots.
 
-    Opening the store *is* recovery: the constructor sweeps temp
-    files, truncates any torn journal tail, verifies every segment
-    (quarantining failures), and leaves the verified snapshots in
-    :meth:`snapshots` and the findings in :attr:`recovery`.  Journal
-    records whose outcome segment is missing surface through
-    :meth:`pending_cleanings` for the serving layer to re-execute.
+    Opening the store *is* recovery: the constructor takes the
+    cross-process lock, sweeps temp files, truncates any torn journal
+    tail, verifies every segment (quarantining failures), and leaves
+    the verified snapshots in :meth:`snapshots` and the findings in
+    :attr:`recovery`.  Journal records whose outcome segment is
+    missing surface through :meth:`pending_cleanings` for the serving
+    layer to re-execute.
 
     Parameters
     ----------
     root:
         The store directory (created if absent).
     durability:
-        ``"fsync"`` (default) syncs file and directory at every
-        commit point -- the crash-safe mode.  ``"none"`` skips
-        fsyncs: atomic renames still give all-or-nothing *files*, but
-        a power cut may revert to pre-state; meant for tests and
-        throwaway runs.
+        ``"strict"`` / ``"fsync"`` (default) syncs file and directory
+        at every commit point -- the crash-safe mode.  ``"batch"``
+        keeps segment commits strict but group-commits journal fsyncs
+        (see the module docstring).  ``"none"`` skips fsyncs: atomic
+        renames still give all-or-nothing *files*, but a power cut may
+        revert to pre-state; meant for tests and throwaway runs.
+    mode:
+        ``"exclusive"`` (default) is the writer mode.  ``"readonly"``
+        takes the shared lock, never repairs or mutates (status
+        tooling next to a live writer); mutations raise
+        :class:`~repro.exceptions.StoreReadOnlyError`.
+    lock_timeout_ms:
+        Bounded wait for the cross-process lock (default:
+        ``REPRO_STORE_LOCK_TIMEOUT_MS`` or 10s).  Scoped request
+        deadlines tighten it further.
+    max_journal_records:
+        Auto-checkpoint threshold for :meth:`maybe_checkpoint`
+        (default: ``REPRO_JOURNAL_MAX_RECORDS``, else disabled).
+    flush_interval_ms:
+        Group-commit coalescing window for ``durability="batch"``.
 
     Operational counters (``psr_store_writes`` segments committed,
     ``psr_store_replays`` journal records re-executed,
-    ``psr_store_quarantined`` files quarantined) live on the store --
-    one per directory, shared by all sessions served over it -- and are
-    declared in :data:`repro.core.counters.STORE_COUNTERS`.
+    ``psr_store_quarantined`` files quarantined,
+    ``psr_store_compactions`` journal checkpoints,
+    ``psr_store_gc_unlinks`` segment files reclaimed,
+    ``psr_store_lock_waits`` contended lock acquisitions,
+    ``psr_store_group_flushes`` coalesced journal fsyncs) live on the
+    store -- one per directory, shared by all sessions served over it
+    -- and are declared in :data:`repro.core.counters.STORE_COUNTERS`.
     """
 
     def __init__(
-        self, root: Union[str, Path], durability: str = "fsync"
+        self,
+        root: Union[str, Path],
+        durability: str = "fsync",
+        mode: str = "exclusive",
+        lock_timeout_ms: Optional[float] = None,
+        max_journal_records: Optional[int] = None,
+        flush_interval_ms: float = DEFAULT_FLUSH_INTERVAL_MS,
     ) -> None:
-        if durability not in ("fsync", "none"):
+        if durability == "strict":
+            durability = "fsync"
+        if durability not in ("fsync", "none", "batch"):
             raise ValueError(
-                f"durability must be 'fsync' or 'none', got {durability!r}"
+                f"durability must be 'strict', 'fsync', 'batch' or "
+                f"'none', got {durability!r}"
+            )
+        if mode not in ("exclusive", "readonly"):
+            raise ValueError(
+                f"mode must be 'exclusive' or 'readonly', got {mode!r}"
             )
         self.root = Path(root)
         self.durability = durability
+        self.mode = mode
+        self.flush_interval_ms = float(flush_interval_ms)
+        self.max_journal_records = (
+            default_max_journal_records()
+            if max_journal_records is None
+            else max_journal_records
+        )
         self._segments_dir = self.root / _SEGMENTS_DIR
         self._quarantine_dir = self.root / _QUARANTINE_DIR
         self._journal_path = self.root / JOURNAL_NAME
@@ -228,12 +388,65 @@ class SnapshotStore:
         self.psr_store_writes = 0
         self.psr_store_replays = 0
         self.psr_store_quarantined = 0
+        self.psr_store_compactions = 0
+        self.psr_store_gc_unlinks = 0
+        self.psr_store_lock_waits = 0
+        self.psr_store_group_flushes = 0
+        #: Journal fsyncs issued by this handle (strict mode pays one
+        #: per append; batch mode one per coalesced flush).  Not a
+        #: ``psr_`` counter: it is a physical-I/O gauge for the
+        #: group-commit tests, not a service-envelope metric.
+        self.journal_fsyncs = 0
+        self._journal_dirty = False
+        self._last_journal_flush = time.monotonic()
         self._snapshots: Dict[str, RankedDatabase] = {}
         self._journal: List[Dict[str, Any]] = []
         self._segments_dir.mkdir(parents=True, exist_ok=True)
         self._quarantine_dir.mkdir(parents=True, exist_ok=True)
+        self._file_lock = StoreLock(self.root, timeout_ms=lock_timeout_ms)
         _TRACKED_ROOTS.add(self.root)
-        self.recovery = self._recover()
+        with self._lock:
+            if mode == "readonly":
+                with self._shared():
+                    self.recovery = self._recover()
+            else:
+                with self._exclusive():
+                    self.recovery = self._recover()
+
+    # ------------------------------------------------------------------
+    # Cross-process locking
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _exclusive(self) -> Iterator[None]:
+        """Hold the cross-process writer lock for one operation.
+
+        Caller holds the thread lock (rank order: RANK_STORE before
+        RANK_STORE_FILE).  Fires the ``lock:acquire`` fault step first
+        so contention chaos can run a second process exactly here.
+        """
+        _disk_step("lock:acquire")
+        with self._file_lock.exclusive():
+            self.psr_store_lock_waits = self._file_lock.waits
+            yield
+
+    @contextmanager
+    def _shared(self) -> Iterator[None]:
+        """Hold the cross-process reader lock for one operation."""
+        _disk_step("lock:acquire")
+        with self._file_lock.shared():
+            self.psr_store_lock_waits = self._file_lock.waits
+            yield
+
+    def _require_writer(self, operation: str) -> None:
+        if self.mode == "readonly":
+            raise StoreReadOnlyError(
+                f"store {str(self.root)!r} is open read-only; "
+                f"{operation} needs mode='exclusive'"
+            )
+
+    def lock_holder(self) -> Optional[Dict[str, Any]]:
+        """The recorded cross-process lock holder (see ``StoreLock``)."""
+        return self._file_lock.holder()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -249,8 +462,12 @@ class SnapshotStore:
             return snapshot_id in self._snapshots
 
     def journal_records(self) -> List[Dict[str, Any]]:
-        """Every clean journal record, in append order (copies)."""
+        """Every clean journal record, in append order (copies).
+
+        A flush barrier in batch mode: what this returns is durable.
+        """
         with self._lock:
+            self._flush_journal()
             return [dict(r) for r in self._journal]
 
     def pending_cleanings(self) -> List[Dict[str, Any]]:
@@ -258,13 +475,19 @@ class SnapshotStore:
 
         These are the writes a crash interrupted after the journal
         append but before the segment commit; the serving layer
-        re-executes them deterministically at open.
+        re-executes them deterministically at open.  Tombstoned
+        outcomes are excluded -- a logically deleted segment owes
+        nobody a replay.
         """
         with self._lock:
+            self._flush_journal()
+            tombstoned = _tombstone_ids(self._journal)
             return [
                 dict(r)
                 for r in self._journal
-                if r.get("outcome") not in self._snapshots
+                if r.get("kind", "clean") == "clean"
+                and r.get("outcome") not in self._snapshots
+                and r.get("outcome") not in tombstoned
             ]
 
     def counters(self) -> Dict[str, int]:
@@ -275,48 +498,75 @@ class SnapshotStore:
         """One JSON-serializable health summary of the store.
 
         Everything an operator needs after an incident: what is
-        durable, what the journal still owes, what recovery moved to
+        durable, what the journal still owes (records *and* bytes),
+        segment count and bytes, tombstones awaiting their unlink, the
+        recorded cross-process lock holder, what recovery moved to
         ``quarantine/``, and the counters -- the payload behind
-        ``repro store``.
+        ``repro store status``.  A flush barrier in batch mode.
         """
         with self._lock:
+            self._flush_journal()
             snapshot_ids = sorted(self._snapshots)
             journal = len(self._journal)
+            tombstones = len(_tombstone_ids(self._journal))
+            tombstoned = _tombstone_ids(self._journal)
             pending = [
                 r.get("outcome")
                 for r in self._journal
-                if r.get("outcome") not in self._snapshots
+                if r.get("kind", "clean") == "clean"
+                and r.get("outcome") not in self._snapshots
+                and r.get("outcome") not in tombstoned
             ]
+        try:
+            journal_bytes = self._journal_path.stat().st_size
+        except OSError:
+            journal_bytes = 0
+        segment_files = 0
+        segment_bytes = 0
+        for path in self._segments_dir.glob("*" + SEGMENT_SUFFIX):
+            try:
+                segment_bytes += path.stat().st_size
+            except OSError:
+                continue
+            segment_files += 1
         quarantined = sorted(
             p.name for p in self._quarantine_dir.iterdir() if p.is_file()
         )
         return {
             "root": str(self.root),
             "durability": self.durability,
+            "mode": self.mode,
             "snapshots": snapshot_ids,
             "journal_records": journal,
+            "journal_bytes": journal_bytes,
+            "segment_files": segment_files,
+            "segment_bytes": segment_bytes,
+            "tombstones": tombstones,
             "pending_cleanings": pending,
             "quarantined_files": quarantined,
+            "lock_holder": self.lock_holder(),
             "counters": self.counters(),
             "recovery": self.recovery.to_dict(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<SnapshotStore {str(self.root)!r}: "
+            f"<SnapshotStore {str(self.root)!r} [{self.mode}]: "
             f"{len(self._snapshots)} segments, "
             f"{len(self._journal)} journal records>"
         )
 
     # ------------------------------------------------------------------
-    # Recovery (runs in the constructor)
+    # Recovery (runs in the constructor, under the file lock)
     # ------------------------------------------------------------------
     def _recover(self) -> RecoveryReport:
+        repair = self.mode == "exclusive"
         swept = 0
-        for directory in (self.root, self._segments_dir):
-            for tmp in sorted(directory.glob(TMP_PREFIX + "*")):
-                tmp.unlink()
-                swept += 1
+        if repair:
+            for directory in (self.root, self._segments_dir):
+                for tmp in sorted(directory.glob(TMP_PREFIX + "*")):
+                    tmp.unlink()
+                    swept += 1
 
         truncated_bytes = 0
         truncate_reason = ""
@@ -325,15 +575,21 @@ class SnapshotStore:
             records, clean_length, truncate_reason = decode_journal(data)
             if clean_length < len(data):
                 truncated_bytes = len(data) - clean_length
-                with open(self._journal_path, "r+b") as f:
-                    f.truncate(clean_length)
-                    self._fsync_file(f)
-                self._fsync_dir(self.root)
+                if repair:
+                    with open(self._journal_path, "r+b") as f:
+                        f.truncate(clean_length)
+                        self._fsync_file(f)
+                    self._fsync_dir(self.root)
             self._journal = records
 
+        tombstoned = _tombstone_ids(self._journal)
         loaded: List[str] = []
         quarantined: List[Tuple[str, str]] = []
+        skipped_tombstoned = 0
         for path in sorted(self._segments_dir.glob("*" + SEGMENT_SUFFIX)):
+            if path.name[: -len(SEGMENT_SUFFIX)] in tombstoned:
+                skipped_tombstoned += 1
+                continue
             try:
                 snapshot_id, ranked = self._load_segment(path)
                 if snapshot_id != path.name[: -len(SEGMENT_SUFFIX)]:
@@ -343,7 +599,8 @@ class SnapshotStore:
                     )
             except (CorruptSnapshotError, OSError) as exc:
                 quarantined.append((path.name, str(exc)))
-                self._quarantine_file(path)
+                if repair:
+                    self._quarantine_file(path)
                 continue
             self._snapshots[snapshot_id] = ranked
             loaded.append(snapshot_id)
@@ -354,6 +611,7 @@ class SnapshotStore:
             journal_records=len(self._journal),
             journal_truncated_bytes=truncated_bytes,
             journal_truncate_reason=truncate_reason,
+            tombstoned_segments=skipped_tombstoned,
         )
 
     def _load_segment(self, path: Path) -> Tuple[str, RankedDatabase]:
@@ -439,10 +697,12 @@ class SnapshotStore:
         propagate.
         """
         with self._lock:
-            self._snapshots.pop(snapshot_id, None)
-            path = self._segment_path(snapshot_id)
-            if path.exists():
-                self._quarantine_file(path)
+            self._require_writer("quarantine_segment")
+            with self._exclusive():
+                self._snapshots.pop(snapshot_id, None)
+                path = self._segment_path(snapshot_id)
+                if path.exists():
+                    self._quarantine_file(path)
         raise CorruptSnapshotError(
             f"segment for snapshot {snapshot_id!r} quarantined: {reason}"
         )
@@ -454,14 +714,22 @@ class SnapshotStore:
         """Durably write one snapshot segment; idempotent by id.
 
         Returns ``False`` (writing nothing) when the segment already
-        exists.  Any ``OSError`` on the write path -- disk full,
+        exists -- including when *another process* committed it
+        between our operations: segments are content-addressed, so a
+        same-id file is the same bytes, and this handle simply adopts
+        it.  Any ``OSError`` on the write path -- disk full,
         permissions -- cleans up the temp file and re-raises as
         :class:`~repro.exceptions.StoreWriteError`; injected
         :class:`~repro.exceptions.SimulatedCrashError` propagates with
         no cleanup at all, leaving the on-disk state a crash would.
         The in-memory index is updated only after the commit point, so
         a failed persist is invisible both on disk and in memory.
+
+        A group-commit flush barrier runs first, preserving the
+        write-ahead ordering: the journal record that promised this
+        outcome is durable before its segment becomes visible.
         """
+        self._require_writer("persist")
         descriptor = ranking_descriptor(ranked.ranking)
         if descriptor is None:
             raise StoreWriteError(
@@ -470,58 +738,66 @@ class SnapshotStore:
                 f"ranking (by_value / by_key / by_sum_of_keys)"
             )
         with self._lock:
+            self._require_writer("persist")
             if snapshot_id in self._snapshots:
                 return False
-            _disk_step("segment:begin")
-            columns = {
-                name: (
-                    getattr(ranked, name).dtype.str,
-                    np.ascontiguousarray(getattr(ranked, name)).tobytes(),
+            with self._exclusive():
+                self._flush_journal()
+                final = self._segment_path(snapshot_id)
+                if final.exists():
+                    self._snapshots[snapshot_id] = ranked
+                    return False
+                _disk_step("segment:begin")
+                columns = {
+                    name: (
+                        getattr(ranked, name).dtype.str,
+                        np.ascontiguousarray(getattr(ranked, name)).tobytes(),
+                    )
+                    for name in CANONICAL_COLUMNS
+                }
+                payload = encode_segment(
+                    snapshot_id=snapshot_id,
+                    content_hash=ranked.db.content_hash(),
+                    name=ranked.db.name,
+                    ranking=descriptor,
+                    structure=database_to_dict(ranked.db),
+                    columns=columns,
                 )
-                for name in CANONICAL_COLUMNS
-            }
-            payload = encode_segment(
-                snapshot_id=snapshot_id,
-                content_hash=ranked.db.content_hash(),
-                name=ranked.db.name,
-                ranking=descriptor,
-                structure=database_to_dict(ranked.db),
-                columns=columns,
-            )
-            crash_after = False
-            directive = _disk_step("segment:payload")
-            if directive is not None:
-                payload, crash_after = _apply_corruption(directive, payload)
-            final = self._segment_path(snapshot_id)
-            tmp = self._segments_dir / (TMP_PREFIX + snapshot_id)
-            try:
-                with open(tmp, "wb") as f:
-                    f.write(payload)
-                    _disk_step("segment:written")
-                    self._fsync_file(f)
-                _disk_step("segment:synced")
-                os.replace(tmp, final)
-            except OSError as exc:
+                crash_after = False
+                directive = _disk_step("segment:payload")
+                if directive is not None:
+                    payload, crash_after = _apply_corruption(
+                        directive, payload
+                    )
+                tmp = self._segments_dir / (TMP_PREFIX + snapshot_id)
                 try:
-                    tmp.unlink()
-                except OSError:
-                    pass
-                raise StoreWriteError(
-                    f"could not persist segment {snapshot_id!r}: {exc}"
-                ) from exc
-            _disk_step("segment:renamed")
-            self._fsync_dir(self._segments_dir)
-            if crash_after:
-                # A torn write models data that never hit the platter
-                # even though the rename did: the truncated segment is
-                # durable and the "process" dies here.
-                raise SimulatedCrashError(
-                    f"injected torn write of segment {snapshot_id!r}"
-                )
-            _disk_step("segment:committed")
-            self._snapshots[snapshot_id] = ranked
-            self.psr_store_writes += 1
-            return True
+                    with open(tmp, "wb") as f:
+                        f.write(payload)
+                        _disk_step("segment:written")
+                        self._fsync_file(f)
+                    _disk_step("segment:synced")
+                    os.replace(tmp, final)
+                except OSError as exc:
+                    try:
+                        tmp.unlink()
+                    except OSError:
+                        pass
+                    raise StoreWriteError(
+                        f"could not persist segment {snapshot_id!r}: {exc}"
+                    ) from exc
+                _disk_step("segment:renamed")
+                self._fsync_dir(self._segments_dir)
+                if crash_after:
+                    # A torn write models data that never hit the
+                    # platter even though the rename did: the truncated
+                    # segment is durable and the "process" dies here.
+                    raise SimulatedCrashError(
+                        f"injected torn write of segment {snapshot_id!r}"
+                    )
+                _disk_step("segment:committed")
+                self._snapshots[snapshot_id] = ranked
+                self.psr_store_writes += 1
+                return True
 
     def journal_clean(
         self,
@@ -533,13 +809,17 @@ class SnapshotStore:
         """Append one cleaning outcome to the write-ahead journal.
 
         Called *before* the outcome segment is persisted: once this
-        returns, a crash at any later point is recoverable by
+        returns (and, in batch mode, once the next flush barrier
+        passes), a crash at any later point is recoverable by
         re-executing ``spec_payload`` against the base snapshot and
         checking the regenerated content hash against
         ``outcome_hash``.  A crash *during* the append leaves a torn
         tail the next open truncates away -- the cleaning then simply
         never happened durably (pre-state), which is correct because
         the caller had not yet acknowledged it.
+
+        Past the ``max_journal_records`` threshold the journal is
+        checkpointed automatically (:meth:`maybe_checkpoint`).
         """
         record = {
             "schema": JOURNAL_SCHEMA,
@@ -550,49 +830,342 @@ class SnapshotStore:
             "spec": dict(spec_payload),
         }
         with self._lock:
-            _disk_step("journal:begin")
-            frame = encode_journal_record(record)
-            crash_after = False
-            directive = _disk_step("journal:payload")
-            if directive is not None:
-                frame, crash_after = _apply_corruption(directive, frame)
-            try:
-                f = open(self._journal_path, "ab")
-            except OSError as exc:
-                raise StoreWriteError(
-                    f"could not open journal for append: {exc}"
-                ) from exc
-            with f:
-                start = f.tell()
-                try:
-                    f.write(frame)
-                    f.flush()
-                    _disk_step("journal:written")
-                    self._fsync_file(f)
-                except OSError as exc:
-                    # Roll the partial frame back out so the failed
-                    # append is invisible -- the journal stays a clean
-                    # prefix of verified records.
-                    try:
-                        f.truncate(start)
-                        self._fsync_file(f)
-                    except OSError:
-                        pass
-                    raise StoreWriteError(
-                        f"could not append journal record: {exc}"
-                    ) from exc
-            _disk_step("journal:synced")
-            if crash_after:
-                raise SimulatedCrashError(
-                    "injected torn append to the cleaning journal"
-                )
-            self._journal.append(record)
-            return dict(record)
+            self._require_writer("journal_clean")
+            with self._exclusive():
+                _disk_step("journal:begin")
+                self._append_journal_frame(record, fire_steps=True)
+                self._journal.append(record)
+        self.maybe_checkpoint()
+        return dict(record)
 
     def note_replayed(self) -> None:
         """Count one journal record successfully re-executed at open."""
         with self._lock:
             self.psr_store_replays += 1
+
+    # ------------------------------------------------------------------
+    # Checkpoint / compaction
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict[str, Any]:
+        """Compact the journal and finish any pending two-phase GC.
+
+        Under the exclusive lock, re-reads the journal *from disk*
+        (another process may have appended), drops ``clean`` records
+        whose outcome segment is durably committed and verifies, drops
+        ``tombstone`` records whose file is already gone, and rewrites
+        the survivors atomically (temp + fsync + rename + dir fsync)
+        -- a crash at any step leaves the complete old journal or the
+        complete new one.  After the rewrite commits, tombstoned
+        segment files still on disk are unlinked (phase two of
+        :meth:`gc`); those tombstones drop out at the *next*
+        checkpoint once their file is observed gone.
+
+        Returns a report: ``compacted`` (whether a rewrite happened),
+        ``records_before`` / ``records_after`` / ``dropped``,
+        ``unlinked`` segment ids, and the journal's byte size.
+        """
+        with self._lock:
+            self._require_writer("checkpoint")
+            with self._exclusive():
+                return self._checkpoint_locked()
+
+    def maybe_checkpoint(self) -> Optional[Dict[str, Any]]:
+        """Checkpoint when the journal exceeds its record threshold.
+
+        A no-op (returning ``None``) when ``max_journal_records`` is
+        unset or the journal is still under it.
+        """
+        threshold = self.max_journal_records
+        if threshold is None:
+            return None
+        with self._lock:
+            over = len(self._journal) >= threshold
+        if not over:
+            return None
+        return self.checkpoint()
+
+    def _checkpoint_locked(self) -> Dict[str, Any]:
+        self._flush_journal()
+        records = self._read_journal_from_disk()
+        surviving: List[Dict[str, Any]] = []
+        dropped = 0
+        for record in records:
+            kind = record.get("kind", "clean")
+            if kind == "clean":
+                if self._segment_verified(record.get("outcome")):
+                    dropped += 1
+                else:
+                    surviving.append(record)
+            elif kind == "tombstone":
+                segment = record.get("segment")
+                if (
+                    isinstance(segment, str)
+                    and self._segment_path(segment).exists()
+                ):
+                    surviving.append(record)
+                else:
+                    dropped += 1
+            else:
+                # Unknown kinds (a future schema) are preserved, never
+                # silently dropped.
+                surviving.append(record)
+        compacted = dropped > 0
+        if compacted:
+            _disk_step("checkpoint:begin")
+            payload = encode_journal(surviving)
+            _disk_step("checkpoint:payload")
+            tmp = self.root / (TMP_PREFIX + JOURNAL_NAME)
+            try:
+                with open(tmp, "wb") as f:
+                    f.write(payload)
+                    _disk_step("checkpoint:written")
+                    if self.durability != "none":
+                        self._journal_fsync(f)
+                _disk_step("checkpoint:synced")
+                os.replace(tmp, self._journal_path)
+            except OSError as exc:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+                raise StoreWriteError(
+                    f"could not checkpoint the journal: {exc}"
+                ) from exc
+            _disk_step("checkpoint:renamed")
+            self._fsync_dir(self.root)
+            _disk_step("checkpoint:committed")
+            self.psr_store_compactions += 1
+            self._journal_dirty = False
+        self._journal = surviving
+        # Phase two of the two-phase delete: every surviving tombstone
+        # is durable in the journal that just committed (or already
+        # was), so its file is now safe to unlink.
+        unlinked: List[str] = []
+        for record in surviving:
+            if record.get("kind") != "tombstone":
+                continue
+            segment = record.get("segment")
+            if not isinstance(segment, str):
+                continue
+            path = self._segment_path(segment)
+            if not path.exists():
+                continue
+            _disk_step("gc:unlink")
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.psr_store_gc_unlinks += 1
+            unlinked.append(segment)
+        if unlinked:
+            self._fsync_dir(self._segments_dir)
+        try:
+            journal_bytes = self._journal_path.stat().st_size
+        except OSError:
+            journal_bytes = 0
+        return {
+            "compacted": compacted,
+            "records_before": len(records),
+            "records_after": len(surviving),
+            "dropped": dropped,
+            "unlinked": unlinked,
+            "journal_bytes": journal_bytes,
+        }
+
+    def _segment_verified(self, snapshot_id: Any) -> bool:
+        """Whether the segment file is committed and decodes cleanly."""
+        if not isinstance(snapshot_id, str) or not snapshot_id:
+            return False
+        try:
+            data = self._segment_path(snapshot_id).read_bytes()
+        except OSError:
+            return False
+        try:
+            header, _, _ = decode_segment(data)
+        except CorruptSnapshotError:
+            return False
+        return header.get("snapshot_id") == snapshot_id
+
+    # ------------------------------------------------------------------
+    # Segment GC (phase one: tombstones)
+    # ------------------------------------------------------------------
+    def gc(
+        self,
+        policy: Optional[RetentionPolicy] = None,
+        in_use: Iterable[str] = (),
+    ) -> Dict[str, Any]:
+        """Tombstone live segments beyond the retention policy.
+
+        Phase one of the two-phase delete: each victim gets a durable
+        ``tombstone`` journal record and drops from :meth:`snapshots`;
+        the file is unlinked only by the *next* successful
+        :meth:`checkpoint` (which also retires the tombstone once the
+        file is gone).  Protected and never collected: ``in_use`` ids
+        (the caller's leased / cached sessions), the policy's
+        ``pinned`` ids, and every base or outcome named by a journal
+        record that has not been checkpointed away (replay must stay
+        possible).  Candidates are ordered by file modification time;
+        the newest ``keep_last_n`` survive.
+
+        Returns a report of ``tombstoned``, ``live`` (survivors) and
+        ``protected`` ids.  A ``None`` policy (or ``keep_last_n``
+        ``None``) is a no-op.
+        """
+        with self._lock:
+            self._require_writer("gc")
+            with self._exclusive():
+                return self._gc_locked(policy, frozenset(in_use))
+
+    def _gc_locked(
+        self, policy: Optional[RetentionPolicy], in_use: frozenset
+    ) -> Dict[str, Any]:
+        self._flush_journal()
+        records = self._read_journal_from_disk()
+        self._journal = records
+        tombstoned = _tombstone_ids(records)
+        protected: Set[str] = set(in_use)
+        if policy is not None:
+            protected.update(policy.pinned)
+        for record in records:
+            if record.get("kind", "clean") == "clean":
+                for key in ("base", "outcome"):
+                    value = record.get(key)
+                    if isinstance(value, str):
+                        protected.add(value)
+        entries: List[Tuple[float, str]] = []
+        for path in sorted(self._segments_dir.glob("*" + SEGMENT_SUFFIX)):
+            segment_id = path.name[: -len(SEGMENT_SUFFIX)]
+            if segment_id in tombstoned:
+                continue
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            entries.append((mtime, segment_id))
+        entries.sort()
+        live = [segment_id for _, segment_id in entries]
+        keep_n = policy.keep_last_n if policy is not None else None
+        if keep_n is None:
+            victims: List[str] = []
+        else:
+            newest = set(live[len(live) - keep_n :]) if keep_n > 0 else set()
+            victims = [
+                segment_id
+                for segment_id in live
+                if segment_id not in newest and segment_id not in protected
+            ]
+        for segment_id in victims:
+            _disk_step("gc:tombstone")
+            record = {
+                "schema": JOURNAL_SCHEMA,
+                "kind": "tombstone",
+                "segment": segment_id,
+            }
+            self._append_journal_frame(record, fire_steps=False)
+            self._journal.append(record)
+            self._snapshots.pop(segment_id, None)
+        return {
+            "tombstoned": victims,
+            "live": [s for s in live if s not in victims],
+            "protected": sorted(protected & set(live)),
+        }
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+    def _append_journal_frame(
+        self, record: Mapping[str, Any], fire_steps: bool
+    ) -> None:
+        """Append one framed record; caller holds both locks.
+
+        ``fire_steps`` enables the ``journal:*`` fault steps (the
+        cleaning-append path); the tombstone path fires its own
+        ``gc:tombstone`` step instead.  An ``OSError`` mid-append
+        rolls the partial frame back out so the journal stays a clean
+        prefix of verified records.
+        """
+        frame = encode_journal_record(record)
+        crash_after = False
+        if fire_steps:
+            directive = _disk_step("journal:payload")
+            if directive is not None:
+                frame, crash_after = _apply_corruption(directive, frame)
+        try:
+            f = open(self._journal_path, "ab")
+        except OSError as exc:
+            raise StoreWriteError(
+                f"could not open journal for append: {exc}"
+            ) from exc
+        with f:
+            start = f.tell()
+            try:
+                f.write(frame)
+                f.flush()
+                if fire_steps:
+                    _disk_step("journal:written")
+                self._journal_sync_policy(f)
+            except OSError as exc:
+                try:
+                    f.truncate(start)
+                    self._fsync_file(f)
+                except OSError:
+                    pass
+                raise StoreWriteError(
+                    f"could not append journal record: {exc}"
+                ) from exc
+        if fire_steps:
+            _disk_step("journal:synced")
+        if crash_after:
+            raise SimulatedCrashError(
+                "injected torn append to the cleaning journal"
+            )
+
+    def _journal_sync_policy(self, f: Any) -> None:
+        """Apply this store's durability mode to one journal append."""
+        if self.durability == "fsync":
+            self._journal_fsync(f)
+        elif self.durability == "batch":
+            self._journal_dirty = True
+            now = time.monotonic()
+            elapsed_ms = (now - self._last_journal_flush) * 1000.0
+            if elapsed_ms >= self.flush_interval_ms:
+                self._journal_fsync(f)
+                self._journal_dirty = False
+                self._last_journal_flush = now
+                self.psr_store_group_flushes += 1
+
+    def _flush_journal(self) -> None:
+        """Group-commit barrier: make every buffered append durable."""
+        if self.durability != "batch" or not self._journal_dirty:
+            return
+        try:
+            with open(self._journal_path, "ab") as f:
+                self._journal_fsync(f)
+        except OSError as exc:
+            raise StoreWriteError(
+                f"could not flush the journal: {exc}"
+            ) from exc
+        self._journal_dirty = False
+        self._last_journal_flush = time.monotonic()
+        self.psr_store_group_flushes += 1
+
+    def _journal_fsync(self, f: Any) -> None:
+        os.fsync(f.fileno())
+        self.journal_fsyncs += 1
+
+    def _read_journal_from_disk(self) -> List[Dict[str, Any]]:
+        """The clean prefix of the on-disk journal, fresh.
+
+        ``checkpoint`` and ``gc`` trust this, not the in-memory
+        mirror: between per-operation locks another process may have
+        appended records this handle never saw.
+        """
+        try:
+            data = self._journal_path.read_bytes()
+        except OSError:
+            return []
+        records, _, _ = decode_journal(data)
+        return records
 
     # ------------------------------------------------------------------
     # Internals
@@ -601,14 +1174,24 @@ class SnapshotStore:
         return self._segments_dir / (snapshot_id + SEGMENT_SUFFIX)
 
     def _fsync_file(self, f: Any) -> None:
-        if self.durability == "fsync":
+        if self.durability != "none":
             os.fsync(f.fileno())
 
     def _fsync_dir(self, path: Path) -> None:
-        if self.durability != "fsync":
+        if self.durability == "none":
             return
         fd = os.open(path, os.O_RDONLY)
         try:
             os.fsync(fd)
         finally:
             os.close(fd)
+
+
+def _tombstone_ids(records: Iterable[Mapping[str, Any]]) -> Set[str]:
+    """Segment ids named by tombstone records (logically deleted)."""
+    return {
+        record["segment"]
+        for record in records
+        if record.get("kind") == "tombstone"
+        and isinstance(record.get("segment"), str)
+    }

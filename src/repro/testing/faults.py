@@ -69,6 +69,26 @@ read steps; ``step`` is an ``fnmatch`` pattern against step names like
     Raise ``OSError(ENOSPC)`` at the step -- disk full.  The store
     must fail the write with a typed error and leave no partial state
     (and the pool must roll back / never publish the in-memory entry).
+``contend``
+    Run the event's ``command`` (a Python script) in a **second real
+    process** at the step, waiting for it to exit, then continue.
+    This is how the contention tests interleave two genuine processes
+    at a deterministic point of the store's protocols: the script
+    typically opens the same store root and persists / cleans /
+    checkpoints against it, so cross-process locking is exercised
+    exactly where the plan says -- inside a writer's critical section
+    (the child must wait or shed typed) or just before one (the child
+    wins the lock and the parent waits).  The child inherits the
+    environment minus ``REPRO_FAULTS`` (the plan must not recursively
+    re-arm itself in the child).
+
+The store's step vocabulary covers the whole write/read/maintenance
+surface: ``segment:*`` and ``journal:*`` (PR 9), plus
+``lock:acquire`` (before every cross-process lock acquisition),
+``checkpoint:begin`` / ``checkpoint:payload`` / ``checkpoint:written``
+/ ``checkpoint:synced`` / ``checkpoint:renamed`` /
+``checkpoint:committed`` (journal compaction), and ``gc:tombstone`` /
+``gc:unlink`` (the two phases of segment deletion).
 
 Activation: programmatically via :func:`install_faults` /
 :func:`use_faults`, or from the environment via ``REPRO_FAULTS`` (a
@@ -83,6 +103,8 @@ import fnmatch
 import json
 import os
 import signal
+import subprocess
+import sys
 import time
 import zlib
 from contextlib import contextmanager
@@ -107,6 +129,7 @@ FAULT_KINDS = (
     "bitflip",
     "shortread",
     "enospc",
+    "contend",
 )
 
 #: Kinds that fire at the pooled-task injection point.
@@ -115,7 +138,19 @@ TASK_KINDS = ("kill", "hang", "slow", "attach")
 #: Kinds that fire at the snapshot store's disk steps.  ``kill`` is in
 #: both sets: without a ``step`` it kills a pool worker, with one it
 #: SIGKILLs the whole process at that disk step.
-DISK_KINDS = ("crash", "torn", "bitflip", "shortread", "enospc", "kill")
+DISK_KINDS = (
+    "crash",
+    "torn",
+    "bitflip",
+    "shortread",
+    "enospc",
+    "kill",
+    "contend",
+)
+
+#: Upper bound on a ``contend`` child's runtime, in seconds: a wedged
+#: child must fail the test loudly, not hang the parent forever.
+CONTEND_TIMEOUT_S = 120.0
 
 #: Default sleep of a ``hang`` directive.  Bounded (not infinite) so a
 #: supervision bug leaves a worker that eventually exits instead of a
@@ -145,6 +180,10 @@ class FaultEvent:
     matching disk draws before firing, so a test can let a base
     snapshot persist cleanly and crash the *second* write at the same
     step.
+
+    ``command`` is the Python script a ``contend`` event runs in a
+    second real process at its step (required for ``contend``, invalid
+    for every other kind).
     """
 
     kind: str
@@ -153,6 +192,7 @@ class FaultEvent:
     delay_ms: Optional[float] = None
     step: Optional[str] = None
     skip: int = 0
+    command: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -174,6 +214,17 @@ class FaultEvent:
         if self.step is not None and self.kind not in DISK_KINDS:
             raise InvalidSpecError(
                 f"fault kind {self.kind!r} cannot target a disk step"
+            )
+        if self.kind == "contend" and not (
+            isinstance(self.command, str) and self.command
+        ):
+            raise InvalidSpecError(
+                "contend faults need a 'command' script to run in the "
+                "second process"
+            )
+        if self.command is not None and self.kind != "contend":
+            raise InvalidSpecError(
+                f"fault kind {self.kind!r} cannot carry a command"
             )
         if not isinstance(self.skip, int) or isinstance(self.skip, bool) \
                 or self.skip < 0:
@@ -216,6 +267,8 @@ class FaultEvent:
             payload["step"] = self.step
         if self.skip:
             payload["skip"] = self.skip
+        if self.command is not None:
+            payload["command"] = self.command
         return payload
 
     @classmethod
@@ -225,7 +278,8 @@ class FaultEvent:
                 f"fault event must be a mapping, got {payload!r}"
             )
         unknown = sorted(
-            set(payload) - {"kind", "block", "times", "delay_ms", "step", "skip"}
+            set(payload)
+            - {"kind", "block", "times", "delay_ms", "step", "skip", "command"}
         )
         if unknown:
             raise InvalidSpecError(f"unknown fault-event fields {unknown!r}")
@@ -242,6 +296,7 @@ class FaultEvent:
             delay_ms=payload.get("delay_ms"),
             step=payload.get("step"),
             skip=payload.get("skip", 0),
+            command=payload.get("command"),
         )
 
 
@@ -264,6 +319,7 @@ class FaultPlan:
                 delay_ms=e.delay_ms,
                 step=e.step,
                 skip=e.skip,
+                command=e.command,
             )
             for e in events
         ]
@@ -345,6 +401,8 @@ class FaultPlan:
                 continue
             event.times -= 1
             directive: Dict[str, Any] = {"kind": event.kind, "step": step}
+            if event.command is not None:
+                directive["command"] = event.command
             self.drawn.append(("disk", step, directive))
             return directive
         return None
@@ -467,6 +525,12 @@ def execute_disk_fault(directive: Mapping[str, Any]) -> None:
     kinds (``torn`` / ``bitflip`` / ``shortread``) return without
     raising: the store applies them to the bytes in flight via
     :func:`torn_payload` / :func:`flip_one_bit` / read truncation.
+    ``contend`` runs the directive's ``command`` script in a *second
+    real interpreter* at this step -- while the faulted process is
+    frozen mid-protocol, typically holding the store's cross-process
+    lock -- waits for it, then returns so the step continues; the
+    child inherits the environment minus ``REPRO_FAULTS`` (it must not
+    re-arm the plan recursively).
     """
     kind = directive.get("kind")
     step = directive.get("step", "?")
@@ -476,6 +540,14 @@ def execute_disk_fault(directive: Mapping[str, Any]) -> None:
         os.kill(os.getpid(), signal.SIGKILL)
     if kind == "enospc":
         raise OSError(errno.ENOSPC, os.strerror(errno.ENOSPC), str(step))
+    if kind == "contend":
+        env = {k: v for k, v in os.environ.items() if k != "REPRO_FAULTS"}
+        subprocess.run(
+            [sys.executable, "-c", str(directive.get("command", ""))],
+            env=env,
+            timeout=CONTEND_TIMEOUT_S,
+            check=False,
+        )
 
 
 def torn_payload(data: bytes) -> bytes:

@@ -7,7 +7,9 @@ being reproducible; shared-memory segments must be created by the one
 registry-tracked helper or they leak past test teardown; deterministic
 kernels must not read the wall clock or compare floats for equality;
 request specs must stay frozen and wire-round-trippable; counters must
-be declared in one registry or they ship half-wired.  This module
+be declared in one registry or they ship half-wired; cross-process
+locking must stay inside ``repro.store`` or two flock protocols end up
+fighting over one directory.  This module
 turns each of those into an AST-level rule with a stable ``REPnnn``
 code, so every future change is checked by machine instead of memory.
 
@@ -791,6 +793,61 @@ def _check_scoped_writes(source: ModuleSource) -> Iterator[Tuple[ast.AST, str]]:
                 f"sanctioned write modules {list(_WRITE_SANCTIONED)}; "
                 f"route the write through repro.store"
             )
+
+
+# ---------------------------------------------------------------------------
+# REP012 -- fcntl / lock-file manipulation only in repro.store
+# ---------------------------------------------------------------------------
+
+#: Modules allowed to touch ``fcntl``: the store package owns the one
+#: cross-process locking protocol (``repro.store.locks``).  A second
+#: flock elsewhere would either deadlock against the store's (if
+#: ordered wrong) or silently fail to exclude it (if on a different
+#: file) -- both are protocol forks, not features.
+_LOCKING_SANCTIONED = ("src/repro/store/*",)
+
+
+@rule(
+    "REP012",
+    "unscoped-file-locking",
+    "fcntl / cross-process lock-file manipulation is allowed only in "
+    "repro.store, which owns the one advisory-locking protocol "
+    "(bounded wait, holder records, stale-lock recovery); every other "
+    "layer must go through the store.",
+    exclude=_LOCKING_SANCTIONED,
+)
+def _check_scoped_locking(source: ModuleSource) -> Iterator[Tuple[ast.AST, str]]:
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "fcntl" or alias.name.startswith("fcntl."):
+                    yield node, (
+                        f"import of {alias.name!r} outside the sanctioned "
+                        f"locking modules {list(_LOCKING_SANCTIONED)}; "
+                        f"take cross-process locks through "
+                        f"repro.store.locks.StoreLock"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "fcntl" or (
+                node.module or ""
+            ).startswith("fcntl."):
+                yield node, (
+                    f"import from {node.module!r} outside the sanctioned "
+                    f"locking modules {list(_LOCKING_SANCTIONED)}; take "
+                    f"cross-process locks through "
+                    f"repro.store.locks.StoreLock"
+                )
+        elif isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "fcntl"
+            ):
+                yield node, (
+                    f"fcntl.{node.attr} outside the sanctioned locking "
+                    f"modules {list(_LOCKING_SANCTIONED)}; take "
+                    f"cross-process locks through "
+                    f"repro.store.locks.StoreLock"
+                )
 
 
 # ---------------------------------------------------------------------------

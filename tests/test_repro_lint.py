@@ -651,6 +651,66 @@ class TestScopedWrites:
 
 
 # ---------------------------------------------------------------------------
+# REP012 unscoped-file-locking
+# ---------------------------------------------------------------------------
+
+
+class TestScopedLocking:
+    def test_flags_fcntl_import_and_call_outside_store(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/api/x.py",
+            """
+            import fcntl
+
+            def grab(fd):
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            """,
+        )
+        assert codes(report) == ["REP012", "REP012", "REP012"]
+
+    def test_flags_from_import(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/queries/x.py",
+            """
+            from fcntl import flock
+
+            def grab(fd):
+                flock(fd, 2)
+            """,
+        )
+        assert codes(report) == ["REP012"]
+
+    def test_store_is_sanctioned(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/store/x.py",
+            """
+            import fcntl
+
+            def grab(fd):
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            """,
+        )
+        assert codes(report) == []
+
+    def test_unrelated_attribute_access_is_clean(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "src/repro/core/x.py",
+            """
+            class Box:
+                flock = None
+
+            def use(box):
+                return box.flock
+            """,
+        )
+        assert codes(report) == []
+
+
+# ---------------------------------------------------------------------------
 # Framework behaviour
 # ---------------------------------------------------------------------------
 
@@ -725,7 +785,7 @@ class TestFramework:
         assert rendered.startswith("src/repro/db/x.py:2:0: REP008 error:")
 
     def test_every_rule_has_catalogue_metadata(self):
-        assert len(RULES) == 11
+        assert len(RULES) == 12
         for code, rule in RULES.items():
             assert code.startswith("REP") and len(code) == 6
             assert rule.description and rule.name

@@ -263,6 +263,131 @@ class TestCrashSweep:
 
 
 # ---------------------------------------------------------------------------
+# Crash sweep: checkpoint, GC, and lock steps
+# ---------------------------------------------------------------------------
+
+# A crash anywhere in the atomic journal rewrite leaves either the
+# complete old journal ("pre") or the complete new one ("post") -- the
+# rename is the commit point.
+CHECKPOINT_CRASH_POINTS = [
+    ("checkpoint:begin", "pre"),
+    ("checkpoint:payload", "pre"),
+    ("checkpoint:written", "pre"),
+    ("checkpoint:synced", "pre"),
+    ("checkpoint:renamed", "post"),
+    ("checkpoint:committed", "post"),
+]
+
+
+class TestCheckpointCrashSweep:
+    def cleaned_service(self, tmp_path, base_id):
+        """A store whose journal holds one droppable clean record."""
+        service = TopKService(store_dir=tmp_path / "store", durability="none")
+        service.register(small_db())
+        service.clean(base_id, CLEAN_SPEC)
+        assert len(service.store.journal_records()) == 1
+        return service
+
+    @pytest.mark.parametrize(
+        "step,expected",
+        CHECKPOINT_CRASH_POINTS,
+        ids=[s for s, _ in CHECKPOINT_CRASH_POINTS],
+    )
+    def test_checkpoint_crash_yields_pre_or_post_journal(
+        self, tmp_path, oracle, step, expected
+    ):
+        base_id, outcome_id, oracle_payload = oracle
+        service = self.cleaned_service(tmp_path, base_id)
+        plan = FaultPlan([FaultEvent(kind="crash", step=step)])
+        with use_faults(plan):
+            with pytest.raises(SimulatedCrashError):
+                service.store.checkpoint()
+        assert plan.drawn, f"no disk fault fired at {step}"
+
+        reopened = TopKService(
+            store_dir=tmp_path / "store", durability="none"
+        )
+        # Never a torn journal, never a quarantine, never data loss.
+        assert reopened.store.recovery.quarantined == ()
+        assert reopened.store.recovery.journal_truncated_bytes == 0
+        records = reopened.store.journal_records()
+        if expected == "pre":
+            assert len(records) == 1
+        else:
+            assert records == []
+        assert reopened.store.pending_cleanings() == []
+        assert_payloads_close(
+            reopened.query(outcome_id, QUERY_SPEC).payload, oracle_payload
+        )
+
+    def test_crash_before_tombstone_append_is_pre_state(
+        self, tmp_path, oracle
+    ):
+        from repro.store import RetentionPolicy
+
+        base_id, outcome_id, _ = oracle
+        service = self.cleaned_service(tmp_path, base_id)
+        service.store.checkpoint()  # drop the clean record: all GC-able
+        plan = FaultPlan([FaultEvent(kind="crash", step="gc:tombstone")])
+        with use_faults(plan):
+            with pytest.raises(SimulatedCrashError):
+                service.store.gc(RetentionPolicy(keep_last_n=1))
+        assert plan.drawn
+
+        reopened = SnapshotStore(tmp_path / "store", durability="none")
+        # Phase one never reached the journal: both segments live.
+        assert reopened.journal_records() == []
+        assert reopened.has_segment(base_id)
+        assert reopened.has_segment(outcome_id)
+
+    def test_crash_before_unlink_leaves_tombstone_to_finish_later(
+        self, tmp_path, oracle
+    ):
+        from repro.store import RetentionPolicy
+
+        base_id, outcome_id, _ = oracle
+        service = self.cleaned_service(tmp_path, base_id)
+        service.store.checkpoint()
+        report = service.store.gc(RetentionPolicy(keep_last_n=1))
+        assert report["tombstoned"] == [base_id]
+        plan = FaultPlan([FaultEvent(kind="crash", step="gc:unlink")])
+        with use_faults(plan):
+            with pytest.raises(SimulatedCrashError):
+                service.store.checkpoint()
+        assert plan.drawn
+
+        # The tombstone is durable, the file still present; the next
+        # successful checkpoint finishes phase two and the one after
+        # retires the tombstone record.
+        reopened = SnapshotStore(tmp_path / "store", durability="none")
+        assert [r["kind"] for r in reopened.journal_records()] == [
+            "tombstone"
+        ]
+        assert reopened.recovery.tombstoned_segments == 1
+        assert not reopened.has_segment(base_id)  # not loaded
+        first = reopened.checkpoint()
+        assert first["unlinked"] == [base_id]
+        second = reopened.checkpoint()
+        assert second["records_after"] == 0
+        assert reopened.has_segment(outcome_id)
+
+    def test_crash_at_lock_acquire_is_pure_pre_state(self, tmp_path, oracle):
+        base_id, outcome_id, _ = oracle
+        service = TopKService(store_dir=tmp_path / "store", durability="none")
+        service.register(small_db())
+        plan = FaultPlan([FaultEvent(kind="crash", step="lock:acquire")])
+        with use_faults(plan):
+            with pytest.raises(SimulatedCrashError):
+                service.clean(base_id, CLEAN_SPEC)
+        assert plan.drawn
+
+        reopened = SnapshotStore(tmp_path / "store", durability="none")
+        assert reopened.journal_records() == []
+        assert not reopened.has_segment(outcome_id)
+        assert reopened.has_segment(base_id)
+
+
+# ---------------------------------------------------------------------------
 # Journal replay failure modes
 # ---------------------------------------------------------------------------
 
@@ -405,6 +530,91 @@ class TestCliStore:
         assert status["journal_records"] == 1
         assert status["pending_cleanings"] == []
         assert status["quarantined_files"] == []
+
+    def test_store_compact_gc_and_unlock_actions(self, tmp_path, oracle):
+        from repro.cli import main
+
+        base_id, outcome_id, _ = oracle
+        service = TopKService(store_dir=tmp_path / "store", durability="none")
+        service.register(small_db())
+        service.clean(base_id, CLEAN_SPEC)
+        store_dir = str(tmp_path / "store")
+
+        compact_json = tmp_path / "compact.json"
+        assert (
+            main(
+                ["store", "compact", "--dir", store_dir, "--json", str(compact_json)]
+            )
+            == 0
+        )
+        compact = json.loads(compact_json.read_text())
+        assert compact["action"] == "compact"
+        assert compact["report"]["compacted"] is True
+        assert compact["report"]["records_after"] == 0
+        assert compact["status"]["journal_records"] == 0
+
+        gc_json = tmp_path / "gc.json"
+        assert (
+            main(
+                [
+                    "store",
+                    "gc",
+                    "--dir",
+                    store_dir,
+                    "--keep-last-n",
+                    "1",
+                    "--pin",
+                    outcome_id,
+                    "--json",
+                    str(gc_json),
+                ]
+            )
+            == 0
+        )
+        gc = json.loads(gc_json.read_text())
+        assert gc["action"] == "gc"
+        assert gc["report"]["gc"]["tombstoned"] == [base_id]
+        assert gc["report"]["checkpoint"]["unlinked"] == [base_id]
+        assert gc["status"]["segment_files"] == 1
+
+        unlock_json = tmp_path / "unlock.json"
+        assert (
+            main(
+                [
+                    "store",
+                    "unlock",
+                    "--dir",
+                    store_dir,
+                    "--force",
+                    "--json",
+                    str(unlock_json),
+                ]
+            )
+            == 0
+        )
+        unlock = json.loads(unlock_json.read_text())
+        assert unlock["action"] == "unlock"
+        # The last exclusive holder (this pid) is alive, so the record
+        # is refused -- force never breaks a live writer.
+        assert unlock["broken"] is False
+
+        # The tombstone record outlives the unlink by one checkpoint
+        # (two-phase delete); a second compact retires it.
+        assert (
+            main(
+                ["store", "compact", "--dir", store_dir, "--json", str(compact_json)]
+            )
+            == 0
+        )
+        status_json = tmp_path / "final-status.json"
+        assert (
+            main(["store", "--dir", store_dir, "--json", str(status_json)])
+            == 0
+        )
+        status = json.loads(status_json.read_text())["status"]
+        assert status["snapshots"] == [outcome_id]
+        assert status["tombstones"] == 0
+        assert status["journal_records"] == 0
 
     def test_query_over_a_recovered_store(self, tmp_path, oracle, capsys):
         from repro.cli import main
