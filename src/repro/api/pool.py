@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, Optional, Set, Union
 
 from repro.core.lockcheck import (
     RANK_ADMISSION,
@@ -413,14 +413,25 @@ class SessionPool:
         is retired.  Returns the GC report, or ``None`` when no store
         or no retention policy is attached.
 
+        The in-use set is passed as a *callback* the store evaluates
+        under its exclusive lock, at the moment GC picks its victims
+        -- not snapshotted up front.  A lease acquired while the sweep
+        is already underway is therefore still protected; its durable
+        segment cannot be tombstoned mid-lease.  (Rank order permits
+        this: the store's locks rank below the registry lock, so the
+        callback's registry acquisition is a legal nesting.)
+
         Called automatically after each durable registration when a
         retention policy is set; safe to call explicitly (the CLI's
         ``repro store gc`` goes through the store directly).
         """
         if self.store is None or self.retention is None:
             return None
-        with self._lock:
-            in_use = set(self._leased) | set(self._sessions)
+
+        def in_use() -> Set[str]:
+            with self._lock:
+                return set(self._leased) | set(self._sessions)
+
         report = self.store.gc(self.retention, in_use=in_use)
         if report.get("tombstoned"):
             self.store.checkpoint()

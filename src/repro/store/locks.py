@@ -20,13 +20,17 @@ locks.  :class:`StoreLock` closes that hole with an advisory
   :class:`~repro.exceptions.StoreLockedError` naming the recorded
   holder -- a fast, typed failure, never a silent queue.
 * The **lock record** (:func:`repro.store.format.encode_lock_record`)
-  written by exclusive holders carries PID + the host's boot nonce.
-  The kernel releases a dead holder's flock automatically, so the
-  record is diagnostics, not correctness: :meth:`StoreLock.holder`
-  reports whether the recorded PID is still alive *in this boot*
-  (stale-lock detection), and :meth:`StoreLock.force_break` lets
-  ``repro store unlock --force`` clear a stale record after an
-  operator confirmed the holder is gone.
+  written by exclusive holders carries PID + the host's boot nonce,
+  and is cleared again on release (while the flock is still held), so
+  a readable record always names a *current* holder: either a live
+  process inside an exclusive operation, or one that crashed
+  mid-operation and never released.  The kernel drops a dead holder's
+  flock automatically, so the record is diagnostics, not correctness:
+  :meth:`StoreLock.holder` reports whether the recorded PID is still
+  alive *in this boot* (stale-lock detection), and
+  :meth:`StoreLock.force_break` lets ``repro store unlock --force``
+  clear a crashed holder's leftover record after an operator confirmed
+  the holder is gone.
 
 ``fcntl`` locks are per open-file-description, so two
 :class:`SnapshotStore` handles *in the same process* contend exactly
@@ -137,6 +141,7 @@ class StoreLock:
             default_lock_timeout_ms() if timeout_ms is None else float(timeout_ms)
         )
         self._fd: Optional[int] = None
+        self._wrote_record = False
         #: Acquisitions that could not take the lock on the first
         #: non-blocking attempt (the store mirrors this into its
         #: ``psr_store_lock_waits`` counter).
@@ -148,7 +153,10 @@ class StoreLock:
     def holder(self) -> Optional[Dict[str, Any]]:
         """The recorded exclusive holder, annotated with liveness.
 
-        Returns ``None`` when no (readable) record exists.  The
+        Returns ``None`` when no (readable) record exists -- the
+        normal state between operations, since releases clear the
+        record; a surviving record names a holder that is either
+        mid-operation right now or crashed without releasing.  The
         ``"alive"`` field is ``True``/``False`` when this boot can
         tell, ``None`` when the record's boot nonce does not match
         this host's (or is absent) -- a different boot or host, where
@@ -210,6 +218,7 @@ class StoreLock:
         note_acquired(RANK_STORE_FILE, f"store-file.{self.path}", id(self))
         if mode == "exclusive":
             self._write_record(fd, mode)
+            self._wrote_record = True
 
     def _flock_bounded(self, fd: int, operation: int, mode: str) -> bool:
         """Bounded-wait flock; returns whether any waiting happened."""
@@ -237,7 +246,10 @@ class StoreLock:
             time.sleep(min(_POLL_INTERVAL_S, give_up - now))
         holder = self.holder()
         if holder is None:
-            detail = "holder record unreadable"
+            detail = (
+                "no exclusive holder recorded (held by shared readers, "
+                "or the holder left no record)"
+            )
         else:
             liveness = {True: "alive", False: "dead", None: "unknown"}[
                 holder.get("alive")
@@ -267,6 +279,17 @@ class StoreLock:
         assert fd is not None
         self._fd = None
         try:
+            if self._wrote_record:
+                # Clear the holder record while the flock is still
+                # held, so a stale "held by pid X (alive)" never
+                # outlives the hold it describes.  Best effort: the
+                # record is diagnostics, the flock below must release
+                # regardless.
+                self._wrote_record = False
+                try:
+                    os.ftruncate(fd, 0)
+                except OSError:
+                    pass
             fcntl.flock(fd, fcntl.LOCK_UN)
         finally:
             os.close(fd)
@@ -278,8 +301,10 @@ class StoreLock:
     def force_break(self) -> Dict[str, Any]:
         """Clear the holder record (``repro store unlock --force``).
 
-        The kernel drops a dead process's flock on its own, so a stale
-        *record* is the only thing left to clean; this truncates it.
+        Releases clear the record themselves, so one that survives
+        belongs to a holder that crashed mid-operation; the kernel
+        already dropped its flock, leaving the stale *record* as the
+        only thing to clean -- this truncates it.
         If the recorded holder is verifiably alive, the record is left
         in place -- breaking a live writer's lock record would only
         hide the contention -- and the report says so.  Returns a JSON

@@ -41,11 +41,13 @@ hammering one root therefore interleave *whole operations*; a process
 that cannot get the lock within its bounded wait sheds with the typed
 :class:`~repro.exceptions.StoreLockedError` instead of corrupting the
 directory or queueing forever.  Because the lock is taken per
-operation (not per handle lifetime), ``checkpoint`` and ``gc`` re-read
-the journal and the segment directory from disk under the lock rather
-than trusting this handle's in-memory mirror -- another process may
-have written between our operations; segment content-addressing makes
-``persist`` naturally idempotent across processes.
+operation (not per handle lifetime), ``persist``, ``checkpoint`` and
+``gc`` re-read the journal (and, for the latter two, the segment
+directory) from disk under the lock rather than trusting this handle's
+in-memory mirror -- another process may have written between our
+operations; segment content-addressing makes ``persist`` naturally
+idempotent across processes, and a tombstone a peer wrote is retired,
+not raced.
 
 **Checkpoint / compaction** (:meth:`SnapshotStore.checkpoint`) bounds
 the journal: records whose outcome segment is durably committed and
@@ -62,7 +64,11 @@ recovery stops loading it), phase two unlinks the file only after the
 next successful checkpoint has made the tombstone durable.  A crash
 between the phases leaves either the pre-GC state or a durable
 tombstone whose file is swept by the next checkpoint -- never a
-half-deleted store.
+half-deleted store.  Re-persisting a tombstoned id *resurrects* it:
+``persist`` retires the tombstone with an atomic journal rewrite (and
+discards the dead file, which recovery skipped unverified) *before*
+committing the new segment, so an acknowledged persist can never be
+unlinked by a later checkpoint or skipped by recovery.
 
 **Group commit** (``durability="batch"``) coalesces *journal* fsyncs:
 appends mark the journal dirty and a single fsync covers every append
@@ -91,7 +97,10 @@ Step names (patterns for :class:`~repro.testing.faults.FaultEvent`):
 ``journal:synced``, ``segment:read``, ``lock:acquire``,
 ``checkpoint:begin``, ``checkpoint:payload``, ``checkpoint:written``,
 ``checkpoint:synced``, ``checkpoint:renamed``,
-``checkpoint:committed``, ``gc:tombstone``, ``gc:unlink``.
+``checkpoint:committed``, ``gc:tombstone``, ``gc:unlink``,
+``resurrect:unlink``, ``resurrect:begin``, ``resurrect:payload``,
+``resurrect:written``, ``resurrect:synced``, ``resurrect:renamed``,
+``resurrect:committed``.
 """
 
 from __future__ import annotations
@@ -103,6 +112,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
     Any,
+    Callable,
     Dict,
     Iterable,
     Iterator,
@@ -508,8 +518,8 @@ class SnapshotStore:
             self._flush_journal()
             snapshot_ids = sorted(self._snapshots)
             journal = len(self._journal)
-            tombstones = len(_tombstone_ids(self._journal))
             tombstoned = _tombstone_ids(self._journal)
+            tombstones = len(tombstoned)
             pending = [
                 r.get("outcome")
                 for r in self._journal
@@ -717,7 +727,15 @@ class SnapshotStore:
         exists -- including when *another process* committed it
         between our operations: segments are content-addressed, so a
         same-id file is the same bytes, and this handle simply adopts
-        it.  Any ``OSError`` on the write path -- disk full,
+        it.  A *tombstoned* id is the exception: its journal tombstone
+        (from :meth:`gc`, possibly another process's) is first retired
+        by an atomic journal rewrite, and any file it left behind is
+        discarded rather than adopted -- recovery skipped it
+        unverified and the next checkpoint was about to unlink it.
+        Only then does the segment commit, so a ``True`` return is an
+        acknowledged durable write that no later checkpoint can sweep
+        and no recovery will skip.  Any ``OSError`` on the write path
+        -- disk full,
         permissions -- cleans up the temp file and re-raises as
         :class:`~repro.exceptions.StoreWriteError`; injected
         :class:`~repro.exceptions.SimulatedCrashError` propagates with
@@ -744,7 +762,14 @@ class SnapshotStore:
             with self._exclusive():
                 self._flush_journal()
                 final = self._segment_path(snapshot_id)
-                if final.exists():
+                # Re-read the journal from disk: a tombstone for this
+                # id (ours or another process's) decides whether an
+                # existing file is adoptable or dead.
+                records = self._read_journal_from_disk()
+                self._journal = records
+                if snapshot_id in _tombstone_ids(records):
+                    self._retire_tombstone(snapshot_id, records, final)
+                elif final.exists():
                     self._snapshots[snapshot_id] = ranked
                     return False
                 _disk_step("segment:begin")
@@ -911,31 +936,8 @@ class SnapshotStore:
                 surviving.append(record)
         compacted = dropped > 0
         if compacted:
-            _disk_step("checkpoint:begin")
-            payload = encode_journal(surviving)
-            _disk_step("checkpoint:payload")
-            tmp = self.root / (TMP_PREFIX + JOURNAL_NAME)
-            try:
-                with open(tmp, "wb") as f:
-                    f.write(payload)
-                    _disk_step("checkpoint:written")
-                    if self.durability != "none":
-                        self._journal_fsync(f)
-                _disk_step("checkpoint:synced")
-                os.replace(tmp, self._journal_path)
-            except OSError as exc:
-                try:
-                    tmp.unlink()
-                except OSError:
-                    pass
-                raise StoreWriteError(
-                    f"could not checkpoint the journal: {exc}"
-                ) from exc
-            _disk_step("checkpoint:renamed")
-            self._fsync_dir(self.root)
-            _disk_step("checkpoint:committed")
+            self._rewrite_journal(surviving, "checkpoint")
             self.psr_store_compactions += 1
-            self._journal_dirty = False
         self._journal = surviving
         # Phase two of the two-phase delete: every surviving tombstone
         # is durable in the journal that just committed (or already
@@ -972,6 +974,84 @@ class SnapshotStore:
             "journal_bytes": journal_bytes,
         }
 
+    def _rewrite_journal(
+        self, records: List[Dict[str, Any]], step_prefix: str
+    ) -> None:
+        """Atomically replace the journal with ``records``.
+
+        Same discipline as segments -- temp, fsync, rename over the
+        final name, fsync the directory -- so a crash at any
+        ``<step_prefix>:*`` fault step leaves the complete old journal
+        or the complete new one; the rename is the commit point.
+        Caller holds both locks and has flushed any buffered appends.
+        """
+        _disk_step(step_prefix + ":begin")
+        payload = encode_journal(records)
+        _disk_step(step_prefix + ":payload")
+        tmp = self.root / (TMP_PREFIX + JOURNAL_NAME)
+        try:
+            with open(tmp, "wb") as f:
+                f.write(payload)
+                _disk_step(step_prefix + ":written")
+                if self.durability != "none":
+                    self._journal_fsync(f)
+            _disk_step(step_prefix + ":synced")
+            os.replace(tmp, self._journal_path)
+        except OSError as exc:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise StoreWriteError(
+                f"could not rewrite the journal: {exc}"
+            ) from exc
+        _disk_step(step_prefix + ":renamed")
+        self._fsync_dir(self.root)
+        _disk_step(step_prefix + ":committed")
+        self._journal_dirty = False
+
+    def _retire_tombstone(
+        self, snapshot_id: str, records: List[Dict[str, Any]], final: Path
+    ) -> None:
+        """Durably resurrect a tombstoned id so it can be re-persisted.
+
+        Without this, ``persist`` after :meth:`gc` would silently lose
+        an acknowledged write: the surviving tombstone makes recovery
+        skip the id, and the next checkpoint -- seeing tombstone plus
+        file -- would unlink the freshly written segment.  A file the
+        tombstone left behind (phase two has not run yet) is not
+        adoptable either: recovery skipped it *unverified*, so it is
+        dead bytes and is removed first.
+
+        Crash-safety: removing the file reaches exactly the state
+        phase two of GC produces (durable tombstone, file gone), and
+        the journal rewrite is atomic, so a crash at any step leaves
+        either that state or a tombstone-free journal with no file --
+        both pre-states in which this persist was never acknowledged
+        and a retry converges.  Only after both steps does the caller
+        write the new segment.
+        """
+        _disk_step("resurrect:unlink")
+        if final.exists():
+            try:
+                final.unlink()
+            except OSError as exc:
+                raise StoreWriteError(
+                    f"could not discard the tombstoned segment file of "
+                    f"{snapshot_id!r}: {exc}"
+                ) from exc
+            self._fsync_dir(self._segments_dir)
+        surviving = [
+            record
+            for record in records
+            if not (
+                record.get("kind") == "tombstone"
+                and record.get("segment") == snapshot_id
+            )
+        ]
+        self._rewrite_journal(surviving, "resurrect")
+        self._journal = surviving
+
     def _segment_verified(self, snapshot_id: Any) -> bool:
         """Whether the segment file is committed and decodes cleanly."""
         if not isinstance(snapshot_id, str) or not snapshot_id:
@@ -992,7 +1072,7 @@ class SnapshotStore:
     def gc(
         self,
         policy: Optional[RetentionPolicy] = None,
-        in_use: Iterable[str] = (),
+        in_use: Union[Iterable[str], Callable[[], Iterable[str]]] = (),
     ) -> Dict[str, Any]:
         """Tombstone live segments beyond the retention policy.
 
@@ -1007,6 +1087,13 @@ class SnapshotStore:
         possible).  Candidates are ordered by file modification time;
         the newest ``keep_last_n`` survive.
 
+        ``in_use`` may be a callable instead of an id collection; it
+        is then evaluated *under the store's exclusive lock*, at the
+        moment victims are chosen.  Callers whose in-use set can grow
+        concurrently (the session pool's lease path) pass a callback
+        so an id leased after the GC call started is still protected,
+        instead of a pre-snapshotted set that races the sweep.
+
         Returns a report of ``tombstoned``, ``live`` (survivors) and
         ``protected`` ids.  A ``None`` policy (or ``keep_last_n``
         ``None``) is a no-op.
@@ -1014,7 +1101,8 @@ class SnapshotStore:
         with self._lock:
             self._require_writer("gc")
             with self._exclusive():
-                return self._gc_locked(policy, frozenset(in_use))
+                resolved = in_use() if callable(in_use) else in_use
+                return self._gc_locked(policy, frozenset(resolved))
 
     def _gc_locked(
         self, policy: Optional[RetentionPolicy], in_use: frozenset

@@ -175,3 +175,35 @@ class TestConcurrency:
         for result in expected:
             if result.kind == "clean":
                 assert result.payload["new_snapshot_id"] in service.pool
+
+
+class TestRetentionSweep:
+    def test_lease_taken_mid_sweep_keeps_its_durable_segment(self, tmp_path):
+        # The in-use set travels to the store as a callback evaluated
+        # under the store's exclusive lock, so a lease that lands
+        # after sweep_store() was entered (here: forced between the
+        # sweep's start and the GC's victim selection) still protects
+        # its segment from being tombstoned mid-lease.
+        from repro.store import RetentionPolicy, SnapshotStore
+
+        store = SnapshotStore(tmp_path / "store", durability="none")
+        pool = SessionPool(store=store)
+        snap = pool.register(generate_synthetic(num_xtuples=6, seed=1))
+        pool.retention = RetentionPolicy(keep_last_n=0)
+
+        real_gc = store.gc
+
+        def gc_with_midsweep_lease(policy, in_use=()):
+            with pool.lease(snap):
+                return real_gc(policy, in_use=in_use)
+
+        store.gc = gc_with_midsweep_lease  # type: ignore[method-assign]
+        try:
+            report = pool.sweep_store()
+        finally:
+            store.gc = real_gc
+
+        assert report is not None
+        assert report["tombstoned"] == []
+        assert report["protected"] == [snap]
+        assert store.has_segment(snap)

@@ -10,6 +10,7 @@ and the ingest validation at the ``repro.db.io`` trust boundary.
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -26,6 +27,7 @@ from repro.store import (
     JOURNAL_NAME,
     SEGMENT_SUFFIX,
     TMP_PREFIX,
+    RetentionPolicy,
     SnapshotStore,
 )
 from repro.store.format import (
@@ -299,6 +301,26 @@ class TestSnapshotStore:
         assert status["counters"]["psr_store_writes"] == 1
         assert status["recovery"]["loaded"] == []
         json.dumps(status)  # the whole envelope must be serializable
+
+    def test_gc_in_use_callback_is_evaluated_under_the_lock(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store", durability="none")
+        store.persist("s1", ranked_db(3))
+        store.persist("s2", ranked_db(4))
+        seen = []
+
+        def in_use():
+            # Called while gc holds the exclusive file lock: the
+            # holder record names this process, proving the set is
+            # taken at the victim-selection point, not snapshotted
+            # before the sweep began.
+            seen.append(store.lock_holder())
+            return {"s2"}
+
+        report = store.gc(RetentionPolicy(keep_last_n=0), in_use=in_use)
+        assert len(seen) == 1
+        assert seen[0] is not None and seen[0]["pid"] == os.getpid()
+        assert report["tombstoned"] == ["s1"]
+        assert report["protected"] == ["s2"]
 
 
 # ---------------------------------------------------------------------------

@@ -128,6 +128,20 @@ class TestFileLock:
             if boot_nonce():
                 assert holder["alive"] is True
 
+    def test_release_clears_the_holder_record(self, tmp_path):
+        # A record that outlived its hold used to name the *last*
+        # holder forever, steering operators at a lock that was free.
+        # Release truncates it (while still holding the flock), so a
+        # readable record always means a current or crashed holder.
+        lock = StoreLock(tmp_path)
+        with lock.exclusive():
+            assert lock.holder() is not None
+        assert lock.holder() is None
+        # Shared holds never write a record to begin with.
+        with lock.shared():
+            assert lock.holder() is None
+        assert lock.holder() is None
+
     def test_stale_record_is_reported_dead_and_breakable(self, tmp_path):
         nonce = boot_nonce()
         if not nonce:
@@ -230,15 +244,16 @@ class TestStoreModes:
         finally:
             thread.join()
 
-    def test_status_reports_lock_holder_during_operations(self, tmp_path):
+    def test_status_lock_holder_clears_between_operations(self, tmp_path):
         root = tmp_path / "store"
         store = SnapshotStore(root)
         store.persist("s1", ranked_db())
         status = store.status()
-        # Between operations nobody holds the flock, but the last
-        # writer's record persists as diagnostics.
-        holder = status["lock_holder"]
-        assert holder is not None and holder["pid"] == os.getpid()
+        # Between operations nobody holds the flock and the release
+        # cleared the record: a non-None holder in status always means
+        # an operation in flight or a holder that crashed, never a
+        # writer that finished long ago.
+        assert status["lock_holder"] is None
         assert status["segment_files"] == 1
         assert status["segment_bytes"] > 0
         assert status["tombstones"] == 0
